@@ -1,0 +1,45 @@
+//! Cost-oracle evaluation speed: the orchestrator's lattice search and the
+//! runtime's per-microbatch timing both call these functions millions of
+//! times per experiment, so they must stay in the nanosecond range.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dt_cluster::{ClusterSpec, CollectiveCost, CollectiveKind, CommDomain};
+use dt_model::{mllm::SampleShape, MllmPreset, ModuleKind};
+use dt_orchestrator::PerfModel;
+use std::hint::black_box;
+
+fn bench_oracle(c: &mut Criterion) {
+    let model = MllmPreset::Mllm72B.build();
+    let cluster = ClusterSpec::production(162);
+    let coll = CollectiveCost::new(cluster.clone());
+    let perf = PerfModel::new(&model, &cluster.node.gpu, &coll).with_stepccl();
+    let shape = SampleShape {
+        text_tokens: 4096,
+        image_tokens: 4096,
+        num_images: 4,
+        gen_images: 2,
+        image_res: 512,
+        gen_res: 1024,
+    };
+
+    c.bench_function("unet_flops_1024", |b| {
+        b.iter(|| black_box(model.generator.flops_forward_image(black_box(1024))))
+    });
+    c.bench_function("backbone_flops_8k", |b| {
+        b.iter(|| black_box(model.backbone.flops_forward(black_box(8192))))
+    });
+    c.bench_function("module_fwd_time_generator", |b| {
+        b.iter(|| black_box(perf.module_fwd_time(ModuleKind::Generator, black_box(&shape), 1)))
+    });
+    c.bench_function("hierarchical_allreduce_cost", |b| {
+        b.iter(|| black_box(coll.allreduce_hierarchical(8, 20, black_box(2 << 30))))
+    });
+    c.bench_function("ring_allreduce_cost", |b| {
+        b.iter(|| {
+            black_box(coll.time(CollectiveKind::AllReduce, 8, black_box(1 << 26), CommDomain::IntraNode))
+        })
+    });
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

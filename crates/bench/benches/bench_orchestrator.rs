@@ -1,0 +1,48 @@
+//! Table 3 as a criterion benchmark: the disaggregated-model-orchestration
+//! solve time at the paper's four (cluster, batch) scales for MLLM-72B.
+//! The paper's CVX-based solver reports 133–922 ms; ours must stay
+//! sub-second at every scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_cluster::{ClusterSpec, CollectiveCost};
+use dt_data::SyntheticLaion;
+use dt_model::MllmPreset;
+use dt_orchestrator::formulate::ProblemSpec;
+use dt_orchestrator::{Orchestrator, PerfModel, Profiler};
+
+fn bench_orchestration(c: &mut Criterion) {
+    let model = MllmPreset::Mllm72B.build();
+    let mut group = c.benchmark_group("table3_orchestration");
+    group.sample_size(10);
+    for (gpus, batch) in [(1296u32, 1920u32), (648, 960), (324, 480), (112, 240)] {
+        let cluster = ClusterSpec::production(gpus.div_ceil(8));
+        let coll = CollectiveCost::new(cluster.clone());
+        let perf = PerfModel::new(&model, &cluster.node.gpu, &coll).with_stepccl();
+        let mut data = SyntheticLaion::new(dt_data::DataConfig::evaluation(1024), 3);
+        let profile = Profiler.profile(&perf, &data.take(64));
+        let spec = ProblemSpec {
+            total_gpus: gpus,
+            gpus_per_node: 8,
+            hbm_bytes: cluster.node.gpu.hbm_bytes,
+            global_batch: batch,
+            microbatch: 1,
+            vpp: 1,
+            pp_hop_secs: 0.02,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{gpus}gpus_bs{batch}")),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    Orchestrator::new(*spec)
+                        .plan_with_profile(&model, &profile)
+                        .expect("plan")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orchestration);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all            # every experiment, presentation order
+//! repro fig13 fig14    # specific experiments
+//! repro list           # what exists
+//! ```
+//!
+//! Build with `--release`: the production-scale simulations (fig13/fig14)
+//! and the real preprocessing measurements (fig17) are CPU-heavy.
+
+use dt_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = experiments::all();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h" || a == "list") {
+        eprintln!("usage: repro <experiment>... | all | list");
+        eprintln!("experiments:");
+        for (name, _) in &all {
+            eprintln!("  {name}");
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    let selected: Vec<&(&str, fn() -> dt_bench::Report)> = if args.iter().any(|a| a == "all") {
+        all.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for arg in &args {
+            match all.iter().find(|(name, _)| name == arg) {
+                Some(entry) => picked.push(entry),
+                None => {
+                    eprintln!("unknown experiment '{arg}' (try `repro list`)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+
+    for (name, runner) in selected {
+        let started = std::time::Instant::now();
+        let report = runner();
+        println!("{}", report.render());
+        println!("   [{name} regenerated in {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+}

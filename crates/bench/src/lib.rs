@@ -1,0 +1,19 @@
+//! # dt-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation (§2 motivation
+//! figures included), each returning a [`report::Report`] that the `repro`
+//! binary prints and `EXPERIMENTS.md` records. Criterion micro-benchmarks
+//! live in `benches/`.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p dt-bench --bin repro -- all
+//! ```
+//!
+//! or one experiment: `repro fig13`, `repro table3`, `repro zoo`, …
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;

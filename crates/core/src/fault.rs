@@ -1,0 +1,208 @@
+//! Failure injection and automatic recovery (§3, §6).
+//!
+//! "DistTrain handles failures by automatically recovering the training
+//! from the latest model checkpoint." [`run_with_failure`] drives the
+//! runtime iteration by iteration, periodically checkpointing through the
+//! real [`CheckpointManager`], crashes the trainer at a chosen iteration,
+//! recovers from the newest checkpoint, and replays. Because the data
+//! stream is deterministic in `(seed, iteration)`, the replayed
+//! iterations are bit-identical to an uninterrupted run — which the tests
+//! assert.
+
+use crate::checkpoint::{CheckpointManager, TrainingState};
+use crate::metrics::{IterationReport, TrainingReport};
+use crate::runtime::Runtime;
+use dt_cluster::CollectiveCost;
+use dt_data::{GlobalBatch, SyntheticLaion};
+use dt_simengine::SimDuration;
+use std::path::Path;
+
+/// Failure scenario description.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// The iteration during which the trainer crashes (0-based; the
+    /// iteration's work is lost).
+    pub fail_at: u32,
+    /// Checkpoint cadence in iterations.
+    pub checkpoint_every: u32,
+    /// Time to detect the failure, reschedule, and reload the checkpoint
+    /// (job-restart overhead).
+    pub restart_overhead: SimDuration,
+}
+
+/// Outcome of a run with one injected failure.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Every *committed* iteration, in final order (length = requested
+    /// iterations; replayed iterations appear once).
+    pub report: TrainingReport,
+    /// Iterations whose work was lost to the crash (fail point minus the
+    /// recovered checkpoint).
+    pub lost_iterations: u32,
+    /// Total wall clock including lost work and the restart overhead.
+    pub total_wall: SimDuration,
+}
+
+/// Run `iterations` of training with one injected crash, checkpointing
+/// into `ckpt_dir`.
+pub fn run_with_failure(
+    runtime: &Runtime<'_>,
+    iterations: u32,
+    fault: FaultPlan,
+    ckpt_dir: &Path,
+) -> std::io::Result<FaultReport> {
+    let coll = CollectiveCost::new(runtime.cluster.clone());
+    let perf = runtime.perf_model(&coll);
+    let planner = runtime.planner_for(&perf);
+    let bs = runtime.cfg.global_batch as usize;
+
+    // Deterministic batch for iteration `i`: regenerate the stream and
+    // skip — the recovery path's replay uses the same function.
+    let batch_for = |iteration: u32| -> GlobalBatch {
+        let mut gen = SyntheticLaion::new(runtime.data.clone(), runtime.cfg.seed);
+        for _ in 0..iteration {
+            let _ = gen.take(bs);
+        }
+        GlobalBatch::new(planner.reorder(gen.take(bs)))
+    };
+
+    let mut mgr = CheckpointManager::new(ckpt_dir)?;
+    let mut committed: Vec<IterationReport> = Vec::with_capacity(iterations as usize);
+    let mut total_wall = SimDuration::ZERO;
+    let mut lost_iterations = 0u32;
+    let mut crashed = false;
+    let mut it = 0u32;
+
+    while it < iterations {
+        if !crashed && it == fault.fail_at {
+            // The crash destroys this iteration's in-flight work…
+            let partial = runtime.simulate_iteration(&perf, &batch_for(it));
+            total_wall += partial.iter_time / 2; // fails mid-iteration
+            total_wall += fault.restart_overhead;
+            // …and training resumes from the newest durable checkpoint.
+            mgr.wait()?;
+            let state = CheckpointManager::recover(ckpt_dir)?;
+            let resume_at = state.map_or(0, |s| s.iteration);
+            lost_iterations = it - resume_at;
+            committed.truncate(resume_at as usize);
+            it = resume_at;
+            crashed = true;
+            continue;
+        }
+        let report = runtime.simulate_iteration(&perf, &batch_for(it));
+        total_wall += report.iter_time;
+        committed.push(report);
+        it += 1;
+        if it % fault.checkpoint_every.max(1) == 0 {
+            mgr.save_async(&TrainingState { iteration: it, plan: runtime.plan, seed: runtime.cfg.seed })?;
+        }
+    }
+    mgr.wait()?;
+
+    Ok(FaultReport {
+        report: TrainingReport {
+            iterations: committed,
+            peak_flops_per_gpu: runtime.cluster.node.gpu.peak_flops,
+        },
+        lost_iterations,
+        total_wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use crate::system::{SystemKind, TrainingTask};
+    use dt_model::MllmPreset;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dt-fault-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn runtime_parts() -> (TrainingTask, dt_parallel::OrchestrationPlan) {
+        let task = TrainingTask::ablation(MllmPreset::Mllm9B.build(), 32);
+        let plan = task.plan(SystemKind::DistTrain).expect("plan");
+        (task, plan)
+    }
+
+    #[test]
+    fn recovery_replays_to_a_bit_identical_run() {
+        let (task, plan) = runtime_parts();
+        let runtime = Runtime {
+            model: &task.model,
+            cluster: &task.cluster,
+            plan,
+            data: task.data.clone(),
+            cfg: RuntimeConfig::disttrain(32, 6),
+        };
+        // Uninterrupted reference.
+        let reference = runtime.run();
+
+        let dir = tempdir("replay");
+        let fault = FaultPlan {
+            fail_at: 4,
+            checkpoint_every: 2,
+            restart_overhead: SimDuration::from_secs_f64(30.0),
+        };
+        let outcome = run_with_failure(&runtime, 6, fault, &dir).unwrap();
+        assert_eq!(outcome.report.iterations.len(), 6);
+        assert_eq!(outcome.lost_iterations, 0, "checkpoint at 4 covers the crash at 4");
+        for (a, b) in outcome.report.iterations.iter().zip(&reference.iterations) {
+            assert_eq!(a.iter_time, b.iter_time, "replayed iteration must be identical");
+            assert_eq!(a.model_flops, b.model_flops);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_checkpoints_cost_lost_iterations() {
+        let (task, plan) = runtime_parts();
+        let runtime = Runtime {
+            model: &task.model,
+            cluster: &task.cluster,
+            plan,
+            data: task.data.clone(),
+            cfg: RuntimeConfig::disttrain(32, 6),
+        };
+        let dir = tempdir("stale");
+        let fault = FaultPlan {
+            fail_at: 5,
+            checkpoint_every: 3,
+            restart_overhead: SimDuration::from_secs_f64(30.0),
+        };
+        let outcome = run_with_failure(&runtime, 6, fault, &dir).unwrap();
+        // Last checkpoint before the crash is at iteration 3 → 2 lost.
+        assert_eq!(outcome.lost_iterations, 2);
+        assert_eq!(outcome.report.iterations.len(), 6);
+        // Wall clock strictly exceeds the committed work (lost + restart).
+        let committed: SimDuration = outcome.report.iterations.iter().map(|i| i.iter_time).sum();
+        assert!(outcome.total_wall > committed + SimDuration::from_secs_f64(30.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_before_any_checkpoint_restarts_from_zero() {
+        let (task, plan) = runtime_parts();
+        let runtime = Runtime {
+            model: &task.model,
+            cluster: &task.cluster,
+            plan,
+            data: task.data.clone(),
+            cfg: RuntimeConfig::disttrain(32, 3),
+        };
+        let dir = tempdir("zero");
+        let fault = FaultPlan {
+            fail_at: 1,
+            checkpoint_every: 10,
+            restart_overhead: SimDuration::from_secs_f64(30.0),
+        };
+        let outcome = run_with_failure(&runtime, 3, fault, &dir).unwrap();
+        assert_eq!(outcome.lost_iterations, 1);
+        assert_eq!(outcome.report.iterations.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

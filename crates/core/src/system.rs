@@ -1,0 +1,293 @@
+//! The top-level training system: manager + runtime for each compared
+//! system (DistTrain, Megatron-LM, DistMM*).
+
+use crate::metrics::TrainingReport;
+use crate::runtime::{Runtime, RuntimeConfig};
+use dt_cluster::{ClusterSpec, CollectiveCost};
+use dt_data::DataConfig;
+use dt_model::MultimodalLlm;
+use dt_orchestrator::baselines::{distmm_star_plan, megatron_plan};
+use dt_orchestrator::formulate::ProblemSpec;
+use dt_orchestrator::{Orchestrator, PerfModel, Profiler};
+use dt_parallel::OrchestrationPlan;
+use dt_preprocess::ReorderMode;
+use dt_simengine::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Which system's policies to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Disaggregated orchestration + disaggregated preprocessing +
+    /// two-level reordering.
+    DistTrain,
+    /// Monolithic orchestration, colocated preprocessing, random order
+    /// (§2.1).
+    MegatronLM,
+    /// DistTrain's machinery with DistMM's FLOPs-proportional
+    /// orchestration (§7.2).
+    DistMMStar,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemKind::DistTrain => write!(f, "DistTrain"),
+            SystemKind::MegatronLM => write!(f, "Megatron-LM"),
+            SystemKind::DistMMStar => write!(f, "DistMM*"),
+        }
+    }
+}
+
+/// Where data preprocessing runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreprocessingMode {
+    /// On the training nodes, blocking the trainer (§2.1's monolithic
+    /// co-location) with this many spare CPU workers.
+    Colocated {
+        /// CPU workers the trainer can spare.
+        workers: u32,
+    },
+    /// On dedicated CPU nodes with prefetch (§5.1).
+    Disaggregated,
+}
+
+/// A complete training task description.
+#[derive(Debug, Clone)]
+pub struct TrainingTask {
+    /// The multimodal LLM (with its freeze configuration).
+    pub model: MultimodalLlm,
+    /// The cluster.
+    pub cluster: ClusterSpec,
+    /// Data distribution.
+    pub data: DataConfig,
+    /// Global batch size.
+    pub global_batch: u32,
+    /// Microbatch size `M`.
+    pub microbatch: u32,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl TrainingTask {
+    /// The §7.2 ablation setting: 96 GPUs (12 nodes), the preset's
+    /// ablation batch size.
+    pub fn ablation(model: MultimodalLlm, global_batch: u32) -> Self {
+        let data = DataConfig::evaluation(model.gen_resolution);
+        TrainingTask {
+            model,
+            cluster: ClusterSpec::production(12),
+            data,
+            global_batch,
+            microbatch: 1,
+            seed: 42,
+        }
+    }
+
+    /// The §7.1 production setting: up to 1296 GPUs (162 nodes), batch
+    /// 1920.
+    pub fn production(model: MultimodalLlm) -> Self {
+        let data = DataConfig::evaluation(model.gen_resolution);
+        TrainingTask {
+            model,
+            cluster: ClusterSpec::production(162),
+            data,
+            global_batch: 1920,
+            microbatch: 1,
+            seed: 42,
+        }
+    }
+
+    /// The §4.2/§4.3 problem constants for this task.
+    pub fn problem_spec(&self) -> ProblemSpec {
+        ProblemSpec {
+            total_gpus: self.cluster.total_gpus(),
+            gpus_per_node: self.cluster.node.gpus_per_node,
+            hbm_bytes: self.cluster.node.gpu.hbm_bytes,
+            global_batch: self.global_batch,
+            microbatch: self.microbatch,
+            vpp: 1,
+            pp_hop_secs: self.pp_hop_secs(),
+        }
+    }
+
+    /// Estimated per-boundary pipeline hop (one microbatch's boundary
+    /// activations over the cross-node path) — the Eq. 1 correction term.
+    pub fn pp_hop_secs(&self) -> f64 {
+        let bytes = self.model.backbone.boundary_activation_bytes(self.model.seq_len)
+            * self.microbatch as u64;
+        bytes as f64 / self.cluster.cross_node_pair_bw() + self.cluster.inter_node_latency
+    }
+
+    /// Plan the task under `kind`'s orchestration policy.
+    pub fn plan(&self, kind: SystemKind) -> Option<OrchestrationPlan> {
+        let spec = self.problem_spec();
+        match kind {
+            SystemKind::MegatronLM => megatron_plan(&spec, &self.model),
+            SystemKind::DistMMStar | SystemKind::DistTrain => {
+                let coll = CollectiveCost::new(self.cluster.clone());
+                // DistTrain (and DistMM*, which reuses its machinery) train
+                // with StepCCL's TP-communication overlap (§6, §A.1).
+                let perf = PerfModel::new(&self.model, &self.cluster.node.gpu, &coll).with_stepccl();
+                // The manager "samples a subset of training data" (§3).
+                let mut data =
+                    dt_data::SyntheticLaion::new(self.data.clone(), DetRng::new(self.seed).next_u64());
+                let samples = data.take(64);
+                let profile = Profiler.profile(&perf, &samples);
+                match kind {
+                    SystemKind::DistMMStar => distmm_star_plan(&spec, &self.model, &profile),
+                    _ => {
+                        // The manager shortlists the top candidates by the
+                        // closed-form objective, then runs one simulated
+                        // benchmarking trial per candidate (§3's "series of
+                        // benchmarking training trials") and keeps the
+                        // winner: fastest iteration, ties broken towards
+                        // fewer GPUs (§7.1's resource-efficiency rule).
+                        let mut candidates: Vec<OrchestrationPlan> =
+                            Orchestrator::new(spec)
+                                .plan_candidates(&self.model, &profile, 12)
+                                .into_iter()
+                                .map(|r| r.plan)
+                                .collect();
+                        // DistTrain's search space strictly contains the
+                        // baselines' points; trialing the FLOPs-proportional
+                        // plan too guarantees the adaptive search never
+                        // loses to it.
+                        candidates.extend(distmm_star_plan(&spec, &self.model, &profile));
+                        self.select_by_trial(candidates.into_iter())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Trial-based selection among candidate plans: simulate one iteration
+    /// per plan; among plans within 12% of the fastest, pick the one with
+    /// the smallest GPU-seconds footprint (§7.1's resource-efficiency
+    /// rule: near-equal throughput with fewer GPUs frees the remainder for
+    /// concurrent fine-tuning/inference and maximizes MFU).
+    fn select_by_trial(&self, plans: impl Iterator<Item = OrchestrationPlan>) -> Option<OrchestrationPlan> {
+        let mut trials: Vec<(f64, u32, OrchestrationPlan)> = Vec::new();
+        for plan in plans {
+            // Trials run the full data path so their ranking matches the
+            // production configuration exactly.
+            let cfg = self.runtime_config(SystemKind::DistTrain, 1);
+            if let Some(report) = self.run_with_plan(plan, cfg) {
+                trials.push((report.mean_iter_secs(), plan.total_gpus(), plan));
+            }
+        }
+        let best = trials
+            .iter()
+            .map(|(t, _, _)| *t)
+            .fold(f64::INFINITY, f64::min);
+        trials
+            .into_iter()
+            .filter(|(t, _, _)| *t <= best * 1.12)
+            .min_by(|a, b| {
+                let ka = (a.0 * a.1 as f64, a.0);
+                let kb = (b.0 * b.1 as f64, b.0);
+                ka.partial_cmp(&kb).expect("finite")
+            })
+            .map(|(_, _, plan)| plan)
+    }
+
+    /// The runtime configuration each system uses for data handling
+    /// (DistMM* keeps all of DistTrain's data-path techniques, §7.2).
+    pub fn runtime_config(&self, kind: SystemKind, iterations: u32) -> RuntimeConfig {
+        let mut cfg = match kind {
+            SystemKind::MegatronLM => RuntimeConfig::monolithic(self.global_batch, iterations),
+            _ => RuntimeConfig::disttrain(self.global_batch, iterations),
+        };
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// Plan and run `iterations` of training under `kind`. Returns `None`
+    /// when no feasible plan exists.
+    pub fn run(&self, kind: SystemKind, iterations: u32) -> Option<TrainingReport> {
+        let plan = self.plan(kind)?;
+        self.run_with_plan(plan, self.runtime_config(kind, iterations))
+    }
+
+    /// Run with an explicit plan and runtime config (ablations mix and
+    /// match, e.g. DistTrain's plan + random data order for Figure 16).
+    pub fn run_with_plan(&self, plan: OrchestrationPlan, cfg: RuntimeConfig) -> Option<TrainingReport> {
+        let runtime = Runtime {
+            model: &self.model,
+            cluster: &self.cluster,
+            plan,
+            data: self.data.clone(),
+            cfg,
+        };
+        Some(runtime.run())
+    }
+}
+
+/// Convenience facade matching the paper's experiment tables.
+pub struct TrainingSystem;
+
+impl TrainingSystem {
+    /// Compare all three systems on a task; returns
+    /// `(kind, report)` pairs for the systems that could be planned.
+    pub fn compare(task: &TrainingTask, iterations: u32) -> Vec<(SystemKind, TrainingReport)> {
+        [SystemKind::DistTrain, SystemKind::MegatronLM, SystemKind::DistMMStar]
+            .into_iter()
+            .filter_map(|k| task.run(k, iterations).map(|r| (k, r)))
+            .collect()
+    }
+}
+
+/// Reorder-mode override helper used by the Figure 16 ablation.
+pub fn with_reorder(mut cfg: RuntimeConfig, mode: ReorderMode) -> RuntimeConfig {
+    cfg.reorder = mode;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_model::MllmPreset;
+
+    fn task(preset: MllmPreset) -> TrainingTask {
+        TrainingTask::ablation(preset.build(), preset.ablation_global_batch())
+    }
+
+    #[test]
+    fn all_three_systems_plan_the_ablation() {
+        let t = task(MllmPreset::Mllm9B);
+        for kind in [SystemKind::DistTrain, SystemKind::MegatronLM, SystemKind::DistMMStar] {
+            let plan = t.plan(kind).unwrap_or_else(|| panic!("{kind} failed to plan"));
+            assert!(plan.total_gpus() <= 96, "{kind} used {} GPUs", plan.total_gpus());
+        }
+    }
+
+    #[test]
+    fn disttrain_beats_megatron_on_the_ablation() {
+        // The §7.2 headline: 1.3–2.7× higher MFU than the baselines.
+        let t = task(MllmPreset::Mllm9B);
+        let dt = t.run(SystemKind::DistTrain, 2).unwrap();
+        let mg = t.run(SystemKind::MegatronLM, 2).unwrap();
+        assert!(
+            dt.mfu() > mg.mfu(),
+            "DistTrain {:.3} must beat Megatron {:.3}",
+            dt.mfu(),
+            mg.mfu()
+        );
+    }
+
+    #[test]
+    fn distmm_sits_between_the_two() {
+        let t = task(MllmPreset::Mllm15B);
+        let dt = t.run(SystemKind::DistTrain, 2).unwrap();
+        let dm = t.run(SystemKind::DistMMStar, 2).unwrap();
+        let mg = t.run(SystemKind::MegatronLM, 2).unwrap();
+        assert!(dt.mfu() >= dm.mfu(), "DistTrain {:.3} vs DistMM* {:.3}", dt.mfu(), dm.mfu());
+        assert!(dm.mfu() > mg.mfu(), "DistMM* {:.3} vs Megatron {:.3}", dm.mfu(), mg.mfu());
+    }
+
+    #[test]
+    fn compare_returns_all_planable_systems() {
+        let t = task(MllmPreset::Mllm9B);
+        let results = TrainingSystem::compare(&t, 1);
+        assert_eq!(results.len(), 3);
+    }
+}

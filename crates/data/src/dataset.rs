@@ -1,0 +1,270 @@
+//! The synthetic LAION-like sample stream.
+//!
+//! Each [`TrainSample`] is one packed training sequence: image subsequences
+//! (16×16-patch tokens) interleaved with text subsequences (log-normal
+//! lengths) until the fixed `seq_len` is reached — the packing §2.3
+//! describes. The per-subsequence records are kept on the sample so the
+//! Figure 5 characterization can be regenerated from the same stream the
+//! training experiments consume.
+
+use crate::config::{DataConfig, ResolutionMode};
+use dt_model::mllm::SampleShape;
+use dt_simengine::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// One packed multimodal training sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainSample {
+    /// Monotone id within the stream.
+    pub id: u64,
+    /// Text subsequence lengths, in tokens, in packing order.
+    pub text_subseqs: Vec<u64>,
+    /// Per-image resolution (square edge, pixels), in packing order.
+    pub image_resolutions: Vec<u32>,
+    /// Which images are generation targets (indices into
+    /// `image_resolutions`).
+    pub gen_targets: Vec<u32>,
+    /// Resolution at which generation targets are rendered.
+    pub gen_resolution: u32,
+    /// On-disk compressed size of the images, bytes (text is negligible).
+    pub raw_image_bytes: u64,
+    /// Patch edge used for tokenization (copied from the config so the
+    /// sample is self-describing).
+    pub patch: u32,
+}
+
+impl TrainSample {
+    /// Tokens contributed by image subsequences.
+    pub fn image_tokens(&self) -> u64 {
+        self.image_resolutions
+            .iter()
+            .map(|&r| {
+                let side = (r / self.patch) as u64;
+                side * side
+            })
+            .sum()
+    }
+
+    /// Tokens contributed by text subsequences.
+    pub fn text_tokens(&self) -> u64 {
+        self.text_subseqs.iter().sum()
+    }
+
+    /// Total packed sequence length.
+    pub fn seq_len(&self) -> u64 {
+        self.image_tokens() + self.text_tokens()
+    }
+
+    /// Total pixels across the sample's images (preprocessing work unit).
+    pub fn total_pixels(&self) -> u64 {
+        self.image_resolutions.iter().map(|&r| r as u64 * r as u64).sum()
+    }
+
+    /// The [`SampleShape`] consumed by the `dt-model` cost functions. The
+    /// representative resolution is the largest in the sample (exact
+    /// per-image costs are available via [`crate::cost`]).
+    pub fn shape(&self) -> SampleShape {
+        SampleShape {
+            text_tokens: self.text_tokens(),
+            image_tokens: self.image_tokens(),
+            num_images: self.image_resolutions.len() as u32,
+            gen_images: self.gen_targets.len() as u32,
+            image_res: self.image_resolutions.iter().copied().max().unwrap_or(512),
+            gen_res: self.gen_resolution,
+        }
+    }
+}
+
+/// Deterministic generator of packed samples.
+#[derive(Debug, Clone)]
+pub struct SyntheticLaion {
+    config: DataConfig,
+    rng: DetRng,
+    next_id: u64,
+}
+
+impl SyntheticLaion {
+    /// Create a stream with the given config and seed. Equal seeds produce
+    /// identical streams on every platform.
+    pub fn new(config: DataConfig, seed: u64) -> Self {
+        SyntheticLaion { config, rng: DetRng::new(seed), next_id: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DataConfig {
+        &self.config
+    }
+
+    fn draw_resolution(&mut self) -> u32 {
+        match self.config.resolution {
+            ResolutionMode::Fixed(res) => res,
+            ResolutionMode::Skewed => {
+                let palette = DataConfig::resolution_palette();
+                let mut t = self.rng.next_f64();
+                for &(res, w) in palette {
+                    t -= w;
+                    if t <= 0.0 {
+                        return res;
+                    }
+                }
+                palette.last().expect("non-empty palette").0
+            }
+        }
+    }
+
+    fn draw_text_len(&mut self) -> u64 {
+        let len = self.rng.lognormal(self.config.text_mu, self.config.text_sigma);
+        (len.round() as u64).clamp(1, self.config.seq_len)
+    }
+
+    /// Generate the next packed sample.
+    pub fn sample(&mut self) -> TrainSample {
+        let cfg = self.config.clone();
+        let id = self.next_id;
+        self.next_id += 1;
+
+        // 1. Draw the image set (count Zipf-skewed, Figure 5(c)), dropping
+        //    images that would overflow the image-token budget (80% of the
+        //    sequence must leave room for text).
+        let want_images = self.rng.zipf(cfg.max_images_per_sample as usize, cfg.images_zipf_alpha) as u32;
+        let budget = cfg.seq_len * 8 / 10;
+        let mut image_resolutions = Vec::new();
+        let mut image_tokens = 0u64;
+        for _ in 0..want_images {
+            let res = self.draw_resolution();
+            let t = cfg.tokens_per_image(res);
+            if image_tokens + t > budget {
+                continue;
+            }
+            image_tokens += t;
+            image_resolutions.push(res);
+        }
+
+        // 2. Mark generation targets.
+        let mut gen_targets = Vec::new();
+        for i in 0..image_resolutions.len() as u32 {
+            if self.rng.chance(cfg.gen_image_prob) {
+                gen_targets.push(i);
+            }
+        }
+
+        // 3. Fill the remainder with text subsequences; the last one is
+        //    truncated so the sample lands exactly on `seq_len` (packing is
+        //    lossless in token count, like the paper's fixed-length
+        //    sequences).
+        let mut text_subseqs = Vec::new();
+        let mut remaining = cfg.seq_len - image_tokens;
+        while remaining > 0 {
+            let len = self.draw_text_len().min(remaining);
+            text_subseqs.push(len);
+            remaining -= len;
+        }
+
+        let raw_image_bytes = image_resolutions
+            .iter()
+            .map(|&r| (3.0 * (r as u64 * r as u64) as f64 / cfg.compression_ratio) as u64)
+            .sum();
+
+        TrainSample {
+            id,
+            text_subseqs,
+            image_resolutions,
+            gen_targets,
+            gen_resolution: cfg.gen_resolution,
+            raw_image_bytes,
+            patch: cfg.patch,
+        }
+    }
+
+    /// Generate `n` samples.
+    pub fn take(&mut self, n: usize) -> Vec<TrainSample> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_simengine::stats::coefficient_of_variation;
+
+    fn stream() -> SyntheticLaion {
+        SyntheticLaion::new(DataConfig::characterization(), 42)
+    }
+
+    #[test]
+    fn samples_pack_to_exact_seq_len() {
+        let mut s = stream();
+        for sample in s.take(200) {
+            assert_eq!(sample.seq_len(), 8192, "sample {} misfilled", sample.id);
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a = stream().take(50);
+        let b = stream().take(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn image_token_load_is_heterogeneous() {
+        // The whole point of §2.3: per-sample multimodal load varies a lot.
+        let mut s = stream();
+        let loads: Vec<f64> = s.take(500).iter().map(|x| x.image_tokens() as f64).collect();
+        let cov = coefficient_of_variation(&loads);
+        assert!(cov > 0.4, "image-token CoV only {cov:.3}; not heterogeneous enough");
+    }
+
+    #[test]
+    fn text_subsequences_are_skewed() {
+        let mut s = stream();
+        let mut lens: Vec<f64> = Vec::new();
+        for sample in s.take(300) {
+            lens.extend(sample.text_subseqs.iter().map(|&t| t as f64));
+        }
+        let summary = dt_simengine::stats::Summary::from_values(lens.iter().copied());
+        // Log-normal: p99 ≫ median.
+        assert!(summary.percentile(0.99) > 5.0 * summary.median());
+    }
+
+    #[test]
+    fn fixed_mode_pins_every_resolution() {
+        let mut s = SyntheticLaion::new(DataConfig::evaluation(512), 7);
+        for sample in s.take(100) {
+            assert!(sample.image_resolutions.iter().all(|&r| r == 512));
+        }
+    }
+
+    #[test]
+    fn gen_targets_index_into_images() {
+        let mut s = stream();
+        for sample in s.take(200) {
+            for &g in &sample.gen_targets {
+                assert!((g as usize) < sample.image_resolutions.len());
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mirrors_sample() {
+        let mut s = stream();
+        let sample = s.sample();
+        let shape = sample.shape();
+        assert_eq!(shape.seq_len(), sample.seq_len());
+        assert_eq!(shape.num_images as usize, sample.image_resolutions.len());
+        assert_eq!(shape.gen_images as usize, sample.gen_targets.len());
+    }
+
+    #[test]
+    fn raw_bytes_reflect_compression() {
+        let cfg = DataConfig::evaluation(1024);
+        let mut s = SyntheticLaion::new(cfg, 9);
+        let sample = s.sample();
+        let expected: u64 = sample
+            .image_resolutions
+            .iter()
+            .map(|&r| (3.0 * (r as u64 * r as u64) as f64 / 10.0) as u64)
+            .sum();
+        assert_eq!(sample.raw_image_bytes, expected);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dt-model — multimodal LLM model zoo and analytics
+//!
+//! DistTrain trains three-module multimodal LLMs (Figure 1): a modality
+//! **encoder** (ViT-Huge), an **LLM backbone** (Llama3-7B/13B/70B, Table 2),
+//! and a modality **generator** (Stable Diffusion 2.1), linked by MLP
+//! projectors. This crate encodes those architectures analytically: exact
+//! parameter counts, forward/backward FLOPs as functions of the input
+//! (sequence length, image tokens, image resolution), and the memory
+//! accounting (§4.2's constraint terms: parameters, gradients, ZeRO-1
+//! optimizer states, 1F1B activation stashes).
+//!
+//! Nothing here executes math on tensors — iteration time and MFU depend
+//! only on *how many* FLOPs and bytes each module moves, which this crate
+//! answers exactly. See `DESIGN.md` §1 for the substitution argument.
+//!
+//! Modules:
+//! * [`transformer`] — dense transformer algebra (GQA, gated/plain MLP).
+//! * [`llama`] — Table 2 backbone presets.
+//! * [`vit`] — ViT-Huge encoder preset + patch/token math.
+//! * [`unet`] — SD 2.1 block-structured UNet (conv + attention FLOPs).
+//! * [`projector`] — input/output MLP projectors.
+//! * [`mllm`] — the composed multimodal model + Table 1 zoo + freezing.
+//! * [`memory`] — per-GPU memory model under DP/TP/PP with ZeRO-1.
+
+pub mod llama;
+pub mod memory;
+pub mod mllm;
+pub mod moe;
+pub mod projector;
+pub mod transformer;
+pub mod unet;
+pub mod vit;
+
+pub use mllm::{FreezeConfig, MllmPreset, ModuleKind, MultimodalLlm};
+pub use moe::MoeConfig;
+pub use transformer::TransformerConfig;
+pub use unet::UNetConfig;
+pub use vit::VitConfig;

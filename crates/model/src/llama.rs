@@ -1,0 +1,112 @@
+//! LLM-backbone presets — Table 2 of the paper.
+//!
+//! | model      | layers | hidden | ffn    | heads | kv groups |
+//! |------------|--------|--------|--------|-------|-----------|
+//! | Llama3-7B  | 32     | 4096   | 11008  | 32    | 32        |
+//! | Llama3-13B | 40     | 5120   | 13824  | 40    | 40        |
+//! | Llama3-70B | 80     | 8192   | 28672  | 64    | 8         |
+//!
+//! Vocabulary is not listed in Table 2; we use 32 000 (the Llama tokenizer
+//! the paper uses for the LAION characterization in §2.3).
+
+use crate::transformer::TransformerConfig;
+
+/// Llama tokenizer vocabulary size used throughout the evaluation.
+pub const LLAMA_VOCAB: u64 = 32_000;
+
+/// Llama3-7B backbone (Table 2 row 1).
+pub fn llama3_7b() -> TransformerConfig {
+    TransformerConfig {
+        name: "Llama3-7B".into(),
+        layers: 32,
+        hidden: 4096,
+        ffn_hidden: 11008,
+        heads: 32,
+        kv_groups: 32,
+        vocab: LLAMA_VOCAB,
+        gated_mlp: true,
+        moe: None,
+    }
+}
+
+/// Llama3-13B backbone (Table 2 row 2).
+pub fn llama3_13b() -> TransformerConfig {
+    TransformerConfig {
+        name: "Llama3-13B".into(),
+        layers: 40,
+        hidden: 5120,
+        ffn_hidden: 13824,
+        heads: 40,
+        kv_groups: 40,
+        vocab: LLAMA_VOCAB,
+        gated_mlp: true,
+        moe: None,
+    }
+}
+
+/// Llama3-70B backbone (Table 2 row 3; grouped-query attention).
+pub fn llama3_70b() -> TransformerConfig {
+    TransformerConfig {
+        name: "Llama3-70B".into(),
+        layers: 80,
+        hidden: 8192,
+        ffn_hidden: 28672,
+        heads: 64,
+        kv_groups: 8,
+        vocab: LLAMA_VOCAB,
+        gated_mlp: true,
+        moe: None,
+    }
+}
+
+/// A Mixtral-style sparse backbone: the Llama3-7B geometry with 8 experts,
+/// top-2 routing (≈40B parameters, ~2× the dense FLOPs). Used by the
+/// expert-parallelism tests and the EP ablation.
+pub fn llama3_7b_moe_8x() -> TransformerConfig {
+    TransformerConfig {
+        name: "Llama3-7B-MoE-8x".into(),
+        moe: Some(crate::moe::MoeConfig::eight_top2()),
+        ..llama3_7b()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts_land_on_the_nameplates() {
+        let b7 = llama3_7b().params() as f64 / 1e9;
+        let b13 = llama3_13b().params() as f64 / 1e9;
+        let b70 = llama3_70b().params() as f64 / 1e9;
+        assert!((6.3..7.5).contains(&b7), "7B preset has {b7}B params");
+        assert!((12.0..14.0).contains(&b13), "13B preset has {b13}B params");
+        assert!((65.0..72.0).contains(&b70), "70B preset has {b70}B params");
+    }
+
+    #[test]
+    fn bigger_models_cost_more_flops() {
+        let s = 8192;
+        assert!(llama3_13b().flops_forward(s) > llama3_7b().flops_forward(s));
+        assert!(llama3_70b().flops_forward(s) > llama3_13b().flops_forward(s));
+    }
+
+    #[test]
+    fn moe_preset_multiplies_params_not_flops() {
+        let dense = llama3_7b();
+        let moe = llama3_7b_moe_8x();
+        let pd = dense.params() as f64;
+        let pm = moe.params() as f64;
+        assert!((4.0..8.5).contains(&(pm / pd)), "param ratio {}", pm / pd);
+        let fd = dense.flops_forward(8192);
+        let fm = moe.flops_forward(8192);
+        assert!((1.2..2.1).contains(&(fm / fd)), "flop ratio {}", fm / fd);
+    }
+
+    #[test]
+    fn seventy_b_uses_gqa() {
+        let c = llama3_70b();
+        assert_eq!(c.kv_groups, 8);
+        assert_eq!(c.heads, 64);
+    }
+}

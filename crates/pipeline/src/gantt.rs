@@ -1,0 +1,91 @@
+//! ASCII Gantt rendering of a simulated pipeline — the Figure 4/7/12
+//! visuals, generated from real timelines.
+//!
+//! Each stage is one row; forwards print as digits (microbatch index mod
+//! 10), backwards as letters, idle as dots:
+//!
+//! ```text
+//! stage 0 |0123b0.c1.d2...
+//! stage 1 |.0123b0c1d2....
+//! ```
+
+use crate::result::{OpKind, PipelineResult};
+
+/// Render `result` as an ASCII Gantt chart of `width` columns.
+pub fn render_gantt(result: &PipelineResult, width: usize) -> String {
+    let width = width.max(10);
+    let total = result.makespan.as_nanos().max(1);
+    let col = |ns: u64| -> usize { ((ns as u128 * width as u128 / total as u128) as usize).min(width - 1) };
+
+    let mut out = String::new();
+    for stage in 0..result.stages {
+        let mut row = vec!['.'; width];
+        for op in result.stage_ops(stage) {
+            let a = col(op.start.as_nanos());
+            let b = col(op.end.as_nanos().saturating_sub(1)).max(a);
+            let glyph = match op.kind {
+                OpKind::Forward => char::from_digit((op.microbatch % 10) as u32, 10).expect("mod 10"),
+                OpKind::Backward => (b'a' + (op.microbatch % 26) as u8) as char,
+            };
+            for cell in &mut row[a..=b] {
+                *cell = glyph;
+            }
+        }
+        out.push_str(&format!("stage {stage:>2} |"));
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          0 {:>width$}\n",
+        format!("{}", result.makespan),
+        width = width.saturating_sub(2)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use crate::sim::{simulate, PipelineSpec, Workload};
+    use dt_simengine::SimDuration;
+
+    fn result() -> PipelineResult {
+        let p = 3;
+        let w = Workload::homogeneous(
+            &vec![SimDuration::from_millis(10); p],
+            &vec![SimDuration::from_millis(20); p],
+            4,
+        );
+        simulate(&PipelineSpec::uniform(Schedule::OneFOneB, p, SimDuration::ZERO), &w)
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_stage() {
+        let g = render_gantt(&result(), 60);
+        assert_eq!(g.lines().count(), 4); // 3 stages + time axis
+        assert!(g.contains("stage  0 |"));
+    }
+
+    #[test]
+    fn rows_mix_work_and_idle() {
+        let g = render_gantt(&result(), 80);
+        let first = g.lines().next().unwrap();
+        assert!(first.contains('0'), "forward glyphs missing: {first}");
+        assert!(first.contains('a'), "backward glyphs missing: {first}");
+        // Stage 0 idles during the steady intervals.
+        assert!(first.contains('.'), "idle glyphs missing: {first}");
+    }
+
+    #[test]
+    fn empty_pipeline_renders_axis_only() {
+        let r = PipelineResult {
+            stages: 0,
+            microbatches: 0,
+            timeline: vec![],
+            makespan: SimDuration::ZERO,
+        };
+        let g = render_gantt(&r, 40);
+        assert_eq!(g.lines().count(), 1);
+    }
+}

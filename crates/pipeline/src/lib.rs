@@ -1,0 +1,35 @@
+//! # dt-pipeline — pipeline-parallel schedule simulation
+//!
+//! Every headline phenomenon in the paper — the two bubble types of
+//! Figure 4, the inter-microbatch stragglers of Figure 7, the interval
+//! structure of Figure 12 that Algorithm 2 fills — is a property of the
+//! *pipeline schedule* executed over per-stage, per-microbatch durations.
+//! This crate simulates those schedules exactly:
+//!
+//! * [`Schedule::OneFOneB`] — the 1F1B scheme [29] DistTrain uses
+//!   (GPipe [33] "consumes more memory without offering better training
+//!   efficiency", §4.2, but is implemented for comparison);
+//! * [`Schedule::GPipe`] — all-forward-then-all-backward flush schedule;
+//! * [`Schedule::Interleaved`] — virtual-pipeline-parallelism (VPP [46]),
+//!   modeled per §4.3: the same 1F1B dependency structure with the warm-up
+//!   contribution divided by the VPP size.
+//!
+//! The simulator builds the operation DAG (in-stage serialization edges +
+//! cross-stage data dependencies + per-boundary communication latency) and
+//! computes the longest path. The result carries the full timeline so
+//! callers can extract stage-0 intervals (Figure 12), per-stage busy time,
+//! and bubble fractions (Figure 4).
+//!
+//! Multi-unit pipelines (encoder unit → broker → LLM unit → broker →
+//! generator unit, Figure 9) are expressed by concatenating the units'
+//! stages and assigning the broker hop cost to the boundary between them.
+
+pub mod gantt;
+pub mod result;
+pub mod schedule;
+pub mod sim;
+
+pub use gantt::render_gantt;
+pub use result::{OpKind, OpRecord, PipelineResult};
+pub use schedule::Schedule;
+pub use sim::{simulate, PipelineSpec, Workload};

@@ -1,0 +1,158 @@
+//! Simulation output: the executed timeline plus derived metrics.
+
+use dt_simengine::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Kind of a timeline operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Forward pass.
+    Forward,
+    /// Backward pass.
+    Backward,
+}
+
+/// One executed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Microbatch index.
+    pub microbatch: usize,
+    /// Forward or backward.
+    pub kind: OpKind,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+}
+
+/// The executed pipeline of one iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineResult {
+    /// Number of stages.
+    pub stages: usize,
+    /// Number of microbatches.
+    pub microbatches: usize,
+    /// Every executed operation, stage-major, in execution order.
+    pub timeline: Vec<OpRecord>,
+    /// End-to-end iteration makespan.
+    pub makespan: SimDuration,
+}
+
+impl PipelineResult {
+    /// Operations of one stage, in execution order.
+    pub fn stage_ops(&self, stage: usize) -> impl Iterator<Item = &OpRecord> {
+        self.timeline.iter().filter(move |op| op.stage == stage)
+    }
+
+    /// Busy time of a stage (sum of op durations).
+    pub fn stage_busy(&self, stage: usize) -> SimDuration {
+        self.stage_ops(stage).map(|op| op.end - op.start).sum()
+    }
+
+    /// Bubble fraction of a stage: idle share of the makespan.
+    pub fn stage_bubble_fraction(&self, stage: usize) -> f64 {
+        let total = self.makespan.as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.stage_busy(stage).as_secs_f64() / total
+    }
+
+    /// Mean bubble fraction across stages — the pipeline-efficiency number
+    /// the Figure 4 discussion is about.
+    pub fn mean_bubble_fraction(&self) -> f64 {
+        if self.stages == 0 {
+            return 0.0;
+        }
+        (0..self.stages).map(|s| self.stage_bubble_fraction(s)).sum::<f64>() / self.stages as f64
+    }
+
+    /// When the first microbatch's forward finished at the last stage — the
+    /// observable end of the warm-up phase (Figure 10).
+    pub fn warmup_end(&self) -> SimTime {
+        self.timeline
+            .iter()
+            .filter(|op| op.stage == self.stages - 1 && op.microbatch == 0 && op.kind == OpKind::Forward)
+            .map(|op| op.end)
+            .next()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The stage-0 *intervals* of Figure 12: gaps between the end of
+    /// backward `i` and the start of backward `i+1` on stage 0. Interval `i`
+    /// is where forward work can hide; unfilled interval volume is bubble.
+    pub fn stage0_intervals(&self) -> Vec<SimDuration> {
+        let mut bwd: Vec<&OpRecord> = self
+            .stage_ops(0)
+            .filter(|op| op.kind == OpKind::Backward)
+            .collect();
+        bwd.sort_by_key(|op| op.start);
+        bwd.windows(2).map(|w| w[1].start - w[0].end).collect()
+    }
+
+    /// Total idle (unfilled) time inside stage-0 intervals plus leading idle
+    /// before the first op — the bubble volume Algorithm 2 minimizes.
+    pub fn stage0_idle(&self) -> SimDuration {
+        self.makespan - self.stage_busy(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(stage: usize, mb: usize, kind: OpKind, start: u64, end: u64) -> OpRecord {
+        OpRecord {
+            stage,
+            microbatch: mb,
+            kind,
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+        }
+    }
+
+    fn toy() -> PipelineResult {
+        PipelineResult {
+            stages: 2,
+            microbatches: 2,
+            timeline: vec![
+                rec(0, 0, OpKind::Forward, 0, 10),
+                rec(0, 1, OpKind::Forward, 10, 20),
+                rec(1, 0, OpKind::Forward, 10, 20),
+                rec(1, 0, OpKind::Backward, 20, 40),
+                rec(0, 0, OpKind::Backward, 40, 60),
+                rec(1, 1, OpKind::Backward, 40, 60),
+                rec(0, 1, OpKind::Backward, 60, 80),
+            ],
+            makespan: SimDuration::from_nanos(80),
+        }
+    }
+
+    #[test]
+    fn busy_time_sums_ops() {
+        let r = toy();
+        assert_eq!(r.stage_busy(0), SimDuration::from_nanos(60));
+        assert_eq!(r.stage_busy(1), SimDuration::from_nanos(50));
+    }
+
+    #[test]
+    fn bubble_fraction_is_idle_share() {
+        let r = toy();
+        assert!((r.stage_bubble_fraction(0) - 0.25).abs() < 1e-12);
+        assert!((r.mean_bubble_fraction() - (0.25 + 0.375) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_end_is_first_microbatch_at_last_stage() {
+        assert_eq!(toy().warmup_end().as_nanos(), 20);
+    }
+
+    #[test]
+    fn stage0_intervals_are_backward_gaps() {
+        let r = toy();
+        assert_eq!(r.stage0_intervals(), vec![SimDuration::ZERO]);
+        assert_eq!(r.stage0_idle(), SimDuration::from_nanos(20));
+    }
+}

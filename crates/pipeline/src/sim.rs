@@ -1,0 +1,368 @@
+//! The schedule simulator: dependency-exact longest-path execution.
+//!
+//! Operations and dependencies:
+//!
+//! * each stage executes its [`Schedule::stage_order`] serially;
+//! * `F(s, i)` needs `F(s−1, i)` plus the boundary's communication hop;
+//! * `B(s, i)` needs `B(s+1, i)` plus the hop (and `F(p−1, i)` at the last
+//!   stage, which the stage order already enforces).
+//!
+//! The simulator advances a per-stage program counter and releases whichever
+//! stage heads are dependency-ready — effectively Kahn's algorithm over the
+//! op DAG, yielding each op's exact start/end and therefore the makespan.
+//! Heterogeneous per-microbatch durations (the paper's data heterogeneity)
+//! are first-class: `Workload` carries a full `[stage][microbatch]` matrix.
+
+use crate::result::{OpKind, OpRecord, PipelineResult};
+use crate::schedule::{Schedule, StageOp};
+use dt_simengine::{SimDuration, SimTime};
+
+/// Static description of the simulated pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    /// The schedule to execute.
+    pub schedule: Schedule,
+    /// Per-boundary point-to-point hop cost (length `stages − 1`); applied
+    /// to both forward activations and backward gradients. Boundaries that
+    /// cross parallelism units carry the communication-broker hop here.
+    pub comm: Vec<SimDuration>,
+}
+
+impl PipelineSpec {
+    /// A spec with uniform hop cost.
+    pub fn uniform(schedule: Schedule, stages: usize, hop: SimDuration) -> Self {
+        PipelineSpec { schedule, comm: vec![hop; stages.saturating_sub(1)] }
+    }
+}
+
+/// Per-stage, per-microbatch durations.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// `fwd[stage][microbatch]` forward durations.
+    pub fwd: Vec<Vec<SimDuration>>,
+    /// `bwd[stage][microbatch]` backward durations.
+    pub bwd: Vec<Vec<SimDuration>>,
+}
+
+impl Workload {
+    /// Homogeneous workload: every microbatch costs the same per stage.
+    pub fn homogeneous(fwd: &[SimDuration], bwd: &[SimDuration], microbatches: usize) -> Self {
+        Workload {
+            fwd: fwd.iter().map(|&f| vec![f; microbatches]).collect(),
+            bwd: bwd.iter().map(|&b| vec![b; microbatches]).collect(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Number of microbatches.
+    pub fn microbatches(&self) -> usize {
+        self.fwd.first().map_or(0, Vec::len)
+    }
+
+    fn validate(&self) {
+        assert_eq!(self.fwd.len(), self.bwd.len(), "fwd/bwd stage counts differ");
+        let l = self.microbatches();
+        for (s, (f, b)) in self.fwd.iter().zip(&self.bwd).enumerate() {
+            assert_eq!(f.len(), l, "stage {s} fwd microbatch count differs");
+            assert_eq!(b.len(), l, "stage {s} bwd microbatch count differs");
+        }
+    }
+}
+
+/// Execute `workload` under `spec` and return the exact timeline.
+pub fn simulate(spec: &PipelineSpec, workload: &Workload) -> PipelineResult {
+    workload.validate();
+    let (expanded_spec, expanded) = match spec.schedule {
+        Schedule::Interleaved { vpp } if vpp > 1 => expand_interleaved(spec, workload, vpp),
+        _ => (spec.clone(), workload.clone()),
+    };
+    run_1f1b_family(&expanded_spec, &expanded)
+}
+
+/// Approximate interleaved-1F1B by expanding each physical stage into `vpp`
+/// virtual stages of `1/vpp` the duration (§4.3 models VPP exactly this
+/// way: the warm-up term shrinks by the VPP size while steady-state
+/// throughput is unchanged).
+fn expand_interleaved(spec: &PipelineSpec, w: &Workload, vpp: u32) -> (PipelineSpec, Workload) {
+    let p = w.stages();
+    let v = vpp as usize;
+    let mut fwd = Vec::with_capacity(p * v);
+    let mut bwd = Vec::with_capacity(p * v);
+    let mut comm = Vec::with_capacity(p * v - 1);
+    for chunk in 0..v {
+        for s in 0..p {
+            fwd.push(w.fwd[s].iter().map(|&d| d / vpp as u64).collect());
+            bwd.push(w.bwd[s].iter().map(|&d| d / vpp as u64).collect());
+            let virt = chunk * p + s;
+            if virt + 1 < p * v {
+                // Hop to the next virtual stage: a real boundary when moving
+                // to the next physical stage, a wrap-around hop (same cost
+                // class as the last boundary) when re-entering stage 0.
+                let hop = if s + 1 < p {
+                    spec.comm.get(s).copied().unwrap_or(SimDuration::ZERO)
+                } else {
+                    spec.comm.last().copied().unwrap_or(SimDuration::ZERO)
+                };
+                comm.push(hop);
+            }
+        }
+    }
+    (
+        PipelineSpec { schedule: Schedule::OneFOneB, comm },
+        Workload { fwd, bwd },
+    )
+}
+
+fn run_1f1b_family(spec: &PipelineSpec, workload: &Workload) -> PipelineResult {
+    let p = workload.stages();
+    let l = workload.microbatches();
+    if p == 0 || l == 0 {
+        return PipelineResult { stages: p, microbatches: l, timeline: Vec::new(), makespan: SimDuration::ZERO };
+    }
+    assert!(
+        spec.comm.len() >= p - 1,
+        "comm vector has {} entries for {} boundaries",
+        spec.comm.len(),
+        p - 1
+    );
+
+    let orders: Vec<Vec<StageOp>> = (0..p).map(|s| spec.schedule.stage_order(s, p, l)).collect();
+    let mut pc = vec![0usize; p]; // program counter per stage
+    let mut avail = vec![SimTime::ZERO; p]; // when the stage is next free
+    let mut fwd_end: Vec<Vec<Option<SimTime>>> = vec![vec![None; l]; p];
+    let mut bwd_end: Vec<Vec<Option<SimTime>>> = vec![vec![None; l]; p];
+    let mut timeline = Vec::with_capacity(2 * p * l);
+    let total_ops = 2 * p * l;
+    let mut done = 0usize;
+
+    while done < total_ops {
+        let mut progressed = false;
+        for s in 0..p {
+            // Drain every currently-ready op on stage s before moving on;
+            // this keeps the scan O(ops · p) overall.
+            while pc[s] < orders[s].len() {
+                let op = orders[s][pc[s]];
+                // Dependency end time (with comm hop), or None if not ready.
+                let dep: Option<SimTime> = match op {
+                    StageOp::Fwd(i) => {
+                        if s == 0 {
+                            Some(SimTime::ZERO)
+                        } else {
+                            fwd_end[s - 1][i].map(|t| t + spec.comm[s - 1])
+                        }
+                    }
+                    StageOp::Bwd(i) => {
+                        if s == p - 1 {
+                            // Needs own forward (enforced by stage order, but
+                            // be explicit for safety).
+                            fwd_end[s][i]
+                        } else {
+                            bwd_end[s + 1][i].map(|t| t + spec.comm[s])
+                        }
+                    }
+                };
+                let Some(dep_time) = dep else { break };
+                let start = avail[s].max(dep_time);
+                let (i, kind, dur) = match op {
+                    StageOp::Fwd(i) => (i, OpKind::Forward, workload.fwd[s][i]),
+                    StageOp::Bwd(i) => (i, OpKind::Backward, workload.bwd[s][i]),
+                };
+                let end = start + dur;
+                match kind {
+                    OpKind::Forward => fwd_end[s][i] = Some(end),
+                    OpKind::Backward => bwd_end[s][i] = Some(end),
+                }
+                timeline.push(OpRecord { stage: s, microbatch: i, kind, start, end });
+                avail[s] = end;
+                pc[s] += 1;
+                done += 1;
+                progressed = true;
+            }
+        }
+        assert!(progressed, "pipeline deadlock: schedule/dependency mismatch");
+    }
+
+    let makespan = timeline
+        .iter()
+        .map(|op| op.end)
+        .fold(SimTime::ZERO, SimTime::max)
+        .since(SimTime::ZERO);
+    PipelineResult { stages: p, microbatches: l, timeline, makespan }
+}
+
+/// Closed-form 1F1B makespan for a *homogeneous* pipeline (no comm):
+/// `(l + p − 1) · (f + b)` — used to validate the simulator.
+pub fn homogeneous_1f1b_makespan(p: usize, l: usize, f: SimDuration, b: SimDuration) -> SimDuration {
+    (f + b) * ((l + p - 1) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(ns: u64) -> SimDuration {
+        SimDuration::from_nanos(ns)
+    }
+
+    fn uniform(p: usize, l: usize, f: u64, b: u64) -> (PipelineSpec, Workload) {
+        (
+            PipelineSpec::uniform(Schedule::OneFOneB, p, SimDuration::ZERO),
+            Workload::homogeneous(&vec![d(f); p], &vec![d(b); p], l),
+        )
+    }
+
+    #[test]
+    fn single_stage_is_serial_execution() {
+        let (spec, w) = uniform(1, 5, 10, 20);
+        let r = simulate(&spec, &w);
+        assert_eq!(r.makespan, d(5 * 30));
+        assert_eq!(r.mean_bubble_fraction(), 0.0);
+    }
+
+    #[test]
+    fn homogeneous_1f1b_matches_closed_form() {
+        for (p, l) in [(2, 2), (4, 6), (4, 16), (8, 8), (3, 12)] {
+            let (spec, w) = uniform(p, l, 100, 200);
+            let r = simulate(&spec, &w);
+            assert_eq!(
+                r.makespan,
+                homogeneous_1f1b_makespan(p, l, d(100), d(200)),
+                "p={p} l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpipe_equals_1f1b_makespan_when_homogeneous() {
+        // Without memory limits the two schedules have identical bubbles.
+        let p = 4;
+        let l = 8;
+        let w = Workload::homogeneous(&vec![d(100); p], &vec![d(200); p], l);
+        let g = simulate(&PipelineSpec::uniform(Schedule::GPipe, p, SimDuration::ZERO), &w);
+        let f = simulate(&PipelineSpec::uniform(Schedule::OneFOneB, p, SimDuration::ZERO), &w);
+        assert_eq!(g.makespan, f.makespan);
+    }
+
+    #[test]
+    fn comm_hops_delay_the_pipeline() {
+        let p = 4;
+        let l = 4;
+        let w = Workload::homogeneous(&vec![d(100); p], &vec![d(200); p], l);
+        let free = simulate(&PipelineSpec::uniform(Schedule::OneFOneB, p, SimDuration::ZERO), &w);
+        let slow = simulate(&PipelineSpec::uniform(Schedule::OneFOneB, p, d(50)), &w);
+        assert!(slow.makespan > free.makespan);
+    }
+
+    #[test]
+    fn straggler_microbatch_creates_bubble() {
+        // Figure 7: one slow encoder microbatch delays downstream stages.
+        let p = 2;
+        let l = 6;
+        let mut w = Workload::homogeneous(&[d(100), d(100)], &[d(200), d(200)], l);
+        let base = simulate(&PipelineSpec::uniform(Schedule::OneFOneB, p, SimDuration::ZERO), &w).makespan;
+        w.fwd[0][0] = d(1000); // microbatch 0 is a straggler at stage 0
+        let strag = simulate(&PipelineSpec::uniform(Schedule::OneFOneB, p, SimDuration::ZERO), &w).makespan;
+        assert!(strag > base + d(800), "straggler delay should propagate: {strag} vs {base}");
+    }
+
+    #[test]
+    fn interleaving_reduces_warmup() {
+        // Same total work; VPP should cut into the warm-up bubble for a
+        // pipeline with many stages and few microbatches.
+        let p = 8;
+        let l = 8;
+        let w = Workload::homogeneous(&vec![d(800); p], &vec![d(1600); p], l);
+        let plain = simulate(&PipelineSpec::uniform(Schedule::OneFOneB, p, SimDuration::ZERO), &w);
+        let vpp = simulate(&PipelineSpec::uniform(Schedule::Interleaved { vpp: 4 }, p, SimDuration::ZERO), &w);
+        assert!(vpp.makespan < plain.makespan, "{} !< {}", vpp.makespan, plain.makespan);
+    }
+
+    #[test]
+    fn warmup_end_tracks_first_microbatch() {
+        let (spec, w) = uniform(4, 8, 100, 200);
+        let r = simulate(&spec, &w);
+        assert_eq!(r.warmup_end().as_nanos(), 400); // 4 stages × 100ns fwd
+    }
+
+    #[test]
+    fn timeline_respects_dependencies() {
+        let (spec, w) = uniform(4, 6, 70, 130);
+        let r = simulate(&spec, &w);
+        for op in &r.timeline {
+            if op.stage > 0 && op.kind == OpKind::Forward {
+                let upstream = r
+                    .timeline
+                    .iter()
+                    .find(|o| o.stage == op.stage - 1 && o.microbatch == op.microbatch && o.kind == OpKind::Forward)
+                    .unwrap();
+                assert!(op.start >= upstream.end);
+            }
+            if op.stage + 1 < r.stages && op.kind == OpKind::Backward {
+                let downstream = r
+                    .timeline
+                    .iter()
+                    .find(|o| o.stage == op.stage + 1 && o.microbatch == op.microbatch && o.kind == OpKind::Backward)
+                    .unwrap();
+                assert!(op.start >= downstream.end);
+            }
+        }
+    }
+
+    proptest! {
+        /// Makespan is monotone: growing any op duration never shrinks it.
+        #[test]
+        fn makespan_is_monotone_in_durations(
+            p in 1usize..5,
+            l in 1usize..7,
+            base in 1u64..500,
+            bump in 1u64..1000,
+            stage_pick in 0usize..5,
+            mb_pick in 0usize..7,
+        ) {
+            let spec = PipelineSpec::uniform(Schedule::OneFOneB, p, d(3));
+            let w = Workload::homogeneous(&vec![d(base); p], &vec![d(2 * base); p], l);
+            let before = simulate(&spec, &w).makespan;
+            let mut w2 = w.clone();
+            w2.fwd[stage_pick % p][mb_pick % l] += d(bump);
+            let after = simulate(&spec, &w2).makespan;
+            prop_assert!(after >= before);
+        }
+
+        /// Makespan is at least the busiest stage's total work and at least
+        /// any single microbatch's critical path.
+        #[test]
+        fn makespan_lower_bounds_hold(
+            p in 1usize..5,
+            l in 1usize..7,
+            seed in 0u64..1000,
+        ) {
+            use dt_simengine::DetRng;
+            let mut rng = DetRng::new(seed);
+            let fwd: Vec<Vec<SimDuration>> = (0..p)
+                .map(|_| (0..l).map(|_| d(rng.range_u64(1, 300))).collect())
+                .collect();
+            let bwd: Vec<Vec<SimDuration>> = (0..p)
+                .map(|_| (0..l).map(|_| d(rng.range_u64(1, 600))).collect())
+                .collect();
+            let w = Workload { fwd: fwd.clone(), bwd: bwd.clone() };
+            let spec = PipelineSpec::uniform(Schedule::OneFOneB, p, SimDuration::ZERO);
+            let r = simulate(&spec, &w);
+            // Lower bound 1: busiest stage.
+            for s in 0..p {
+                let busy: SimDuration = fwd[s].iter().copied().sum::<SimDuration>()
+                    + bwd[s].iter().copied().sum::<SimDuration>();
+                prop_assert!(r.makespan >= busy);
+            }
+            // Lower bound 2: any microbatch's full fwd+bwd path.
+            for i in 0..l {
+                let path: SimDuration = (0..p).map(|s| fwd[s][i] + bwd[s][i]).sum();
+                prop_assert!(r.makespan >= path);
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The consumer side: what the GPU training process sees.
+//!
+//! [`ColocatedFeeder`] is the monolithic baseline — preprocessing runs
+//! synchronously on the training thread, so its full cost lands on the
+//! iteration (§2.1). [`DisaggregatedFeeder`] is DistTrain's path — a
+//! prefetch thread keeps a bounded queue of ready batches fed from the TCP
+//! producer, so the training thread only ever pays the (near-zero) queue
+//! wait. Both report the *stall* they impose on training, which is exactly
+//! the metric Figure 17 plots.
+
+use crate::codec::preprocess_sample;
+use crate::reorder_planner::ReorderPlanner;
+use crate::service::preprocess_parallel;
+use crate::wire::{read_frame, read_json, write_json, BatchHeader, Request};
+use crossbeam::channel::{bounded, Receiver};
+use dt_data::{DataConfig, GlobalBatch, SyntheticLaion};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One preprocessed global batch, as delivered to the trainer.
+#[derive(Debug, Clone)]
+pub struct PreprocessedBatch {
+    /// The samples, in dispatch order (already reordered when the producer
+    /// runs a [`ReorderPlanner`]).
+    pub batch: GlobalBatch,
+    /// Per-sample token-byte lengths.
+    pub token_lens: Vec<u64>,
+    /// Concatenated token bytes.
+    pub tokens: Vec<u8>,
+    /// CPU time the producer spent on this batch.
+    pub producer_cpu: Duration,
+}
+
+/// What one `next_batch` call cost the training thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeederReport {
+    /// Wall-clock the training thread was blocked waiting for data — the
+    /// per-iteration preprocessing overhead on the GPU side (Figure 17).
+    pub stall: Duration,
+}
+
+/// Monolithic baseline: generate + reorder + preprocess inline.
+pub struct ColocatedFeeder {
+    gen: SyntheticLaion,
+    planner: Option<ReorderPlanner>,
+    workers: u32,
+}
+
+impl ColocatedFeeder {
+    /// Create the inline feeder. `workers` matches the CPU threads the
+    /// training process can spare (it shares the node with the trainer).
+    pub fn new(data: DataConfig, seed: u64, planner: Option<ReorderPlanner>, workers: u32) -> Self {
+        ColocatedFeeder { gen: SyntheticLaion::new(data, seed), planner, workers }
+    }
+
+    /// Produce the next global batch synchronously.
+    pub fn next_batch(&mut self, count: u32) -> (PreprocessedBatch, FeederReport) {
+        let started = Instant::now();
+        let mut samples = self.gen.take(count as usize);
+        if let Some(planner) = &self.planner {
+            samples = planner.reorder(samples);
+        }
+        let tokens = preprocess_parallel(&samples, self.workers);
+        let token_lens: Vec<u64> = tokens.iter().map(|t| t.len() as u64).collect();
+        let payload = tokens.concat();
+        let elapsed = started.elapsed();
+        (
+            PreprocessedBatch {
+                batch: GlobalBatch::new(samples),
+                token_lens,
+                tokens: payload,
+                producer_cpu: elapsed,
+            },
+            FeederReport { stall: elapsed },
+        )
+    }
+}
+
+/// DistTrain's consumer: prefetching client of the TCP producer.
+pub struct DisaggregatedFeeder {
+    rx: Receiver<io::Result<PreprocessedBatch>>,
+}
+
+impl DisaggregatedFeeder {
+    /// Connect to a producer and start prefetching `batch_size`-sample
+    /// global batches, keeping up to `prefetch_depth` ready in the queue.
+    pub fn connect(addr: SocketAddr, batch_size: u32, prefetch_depth: usize) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        let (tx, rx) = bounded(prefetch_depth.max(1));
+        std::thread::Builder::new()
+            .name("dt-preprocess-prefetch".into())
+            .spawn(move || loop {
+                let result = fetch_one(&mut stream, batch_size);
+                let failed = result.is_err();
+                if tx.send(result).is_err() {
+                    // Consumer dropped: politely close the session.
+                    let _ = write_json(&mut stream, &Request::Shutdown);
+                    return;
+                }
+                if failed {
+                    return;
+                }
+            })?;
+        Ok(DisaggregatedFeeder { rx })
+    }
+
+    /// Take the next ready batch, blocking only if the prefetch queue is
+    /// empty. The returned stall is that blocked time.
+    pub fn next_batch(&self) -> io::Result<(PreprocessedBatch, FeederReport)> {
+        let started = Instant::now();
+        let batch = self
+            .rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "prefetch thread terminated"))??;
+        Ok((batch, FeederReport { stall: started.elapsed() }))
+    }
+}
+
+fn fetch_one(stream: &mut TcpStream, batch_size: u32) -> io::Result<PreprocessedBatch> {
+    write_json(stream, &Request::FetchBatch { count: batch_size })?;
+    let header: BatchHeader = read_json(stream)?;
+    let payload = read_frame(stream)?;
+    let expected: u64 = header.token_lens.iter().sum();
+    if payload.len() as u64 != expected {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "payload length mismatch"));
+    }
+    Ok(PreprocessedBatch {
+        batch: GlobalBatch::new(header.samples),
+        token_lens: header.token_lens,
+        tokens: payload,
+        producer_cpu: Duration::from_nanos(header.producer_cpu_ns),
+    })
+}
+
+/// Reference single-thread preprocessing time of a batch (used by tests
+/// and the Figure 17 harness to report the work magnitude independent of
+/// feeder mode).
+pub fn serial_preprocess_time(batch: &GlobalBatch) -> Duration {
+    let started = Instant::now();
+    for s in &batch.samples {
+        let _ = preprocess_sample(s);
+    }
+    started.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ProducerConfig, ProducerHandle};
+    use dt_data::ResolutionMode;
+
+    fn tiny_data() -> DataConfig {
+        DataConfig { resolution: ResolutionMode::Fixed(64), ..DataConfig::evaluation(64) }
+    }
+
+    #[test]
+    fn colocated_and_disaggregated_deliver_identical_batches() {
+        let mut colocated = ColocatedFeeder::new(tiny_data(), 7, None, 2);
+        let (a, _) = colocated.next_batch(4);
+
+        let producer = ProducerHandle::spawn(ProducerConfig::new(tiny_data(), 7)).unwrap();
+        let feeder = DisaggregatedFeeder::connect(producer.addr, 4, 2).unwrap();
+        let (b, _) = feeder.next_batch().unwrap();
+
+        assert_eq!(a.batch, b.batch, "both modes must deliver the same deterministic stream");
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn colocated_stall_equals_the_work() {
+        let mut feeder = ColocatedFeeder::new(tiny_data(), 3, None, 1);
+        let (batch, report) = feeder.next_batch(4);
+        assert!(report.stall >= batch.producer_cpu / 2, "inline stall must reflect the work");
+        assert!(!report.stall.is_zero());
+    }
+
+    #[test]
+    fn disaggregated_stall_vanishes_once_warm() {
+        let producer = ProducerHandle::spawn(ProducerConfig::new(tiny_data(), 11)).unwrap();
+        let feeder = DisaggregatedFeeder::connect(producer.addr, 4, 3).unwrap();
+        // Warm the prefetch queue.
+        let (_, first) = feeder.next_batch().unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        let (_, warm) = feeder.next_batch().unwrap();
+        assert!(
+            warm.stall < first.stall.max(Duration::from_millis(10)),
+            "warm stall {warm:?} should be tiny vs cold {first:?}"
+        );
+        assert!(warm.stall < Duration::from_millis(10), "warm stall {:?}", warm.stall);
+    }
+
+    #[test]
+    fn slow_producer_fault_is_visible_as_stall() {
+        let mut cfg = ProducerConfig::new(tiny_data(), 13);
+        cfg.fault_delay = Some(Duration::from_millis(80));
+        let producer = ProducerHandle::spawn(cfg).unwrap();
+        let feeder = DisaggregatedFeeder::connect(producer.addr, 2, 1).unwrap();
+        let (_, report) = feeder.next_batch().unwrap();
+        assert!(report.stall >= Duration::from_millis(40), "fault not visible: {:?}", report.stall);
+    }
+
+    #[test]
+    fn producer_death_surfaces_as_error_not_hang() {
+        let producer = ProducerHandle::spawn(ProducerConfig::new(tiny_data(), 17)).unwrap();
+        let addr = producer.addr;
+        let feeder = DisaggregatedFeeder::connect(addr, 2, 1).unwrap();
+        let _ = feeder.next_batch().unwrap();
+        drop(producer); // kill the service mid-session
+        // Drain: eventually the feeder reports an error instead of
+        // blocking forever.
+        let mut saw_error = false;
+        for _ in 0..8 {
+            match feeder.next_batch() {
+                Ok(_) => continue,
+                Err(_) => {
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "dead producer must surface as an error");
+    }
+}

@@ -1,0 +1,141 @@
+//! Frame protocol between producer (CPU node) and consumer (GPU node).
+//!
+//! Classic length-delimited framing (the Tokio framing chapter's first
+//! protocol, implemented synchronously — the feeder is a dedicated blocking
+//! prefetch thread, not an async reactor): every frame is a 4-byte
+//! little-endian length followed by that many payload bytes. Control
+//! messages are JSON (small, debuggable); bulk token bytes travel as a
+//! separate raw frame so they are never base64-inflated.
+//!
+//! ```text
+//! request:  [len][json Request]
+//! response: [len][json BatchHeader] [len][raw token bytes]
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+use dt_data::TrainSample;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Frames larger than this are rejected as protocol corruption.
+pub const MAX_FRAME: u32 = 1 << 30;
+
+/// Consumer → producer control messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// Produce and send the next global batch of `count` samples.
+    FetchBatch {
+        /// Samples in the requested global batch.
+        count: u32,
+    },
+    /// Close the session.
+    Shutdown,
+}
+
+/// Metadata frame preceding the bulk token bytes of one global batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchHeader {
+    /// The (already reordered) samples, in dispatch order.
+    pub samples: Vec<TrainSample>,
+    /// Per-sample token-byte lengths, same order (the bulk frame is their
+    /// concatenation).
+    pub token_lens: Vec<u64>,
+    /// Producer-side CPU time spent preprocessing this batch, nanoseconds
+    /// (reported for the Figure 17 accounting).
+    pub producer_cpu_ns: u64,
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    let mut head = BytesMut::with_capacity(4);
+    head.put_u32_le(len);
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut head = [0u8; 4];
+    r.read_exact(&mut head)?;
+    let len = (&head[..]).get_u32_le();
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Write a JSON control message as one frame.
+pub fn write_json<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
+    let payload = serde_json::to_vec(msg).map_err(io::Error::other)?;
+    write_frame(w, &payload)
+}
+
+/// Read a JSON control message from one frame.
+pub fn read_json<T: for<'de> Deserialize<'de>>(r: &mut impl Read) -> io::Result<T> {
+    let payload = read_frame(r)?;
+    serde_json::from_slice(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap(), vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn json_messages_round_trip() {
+        let mut buf = Vec::new();
+        write_json(&mut buf, &Request::FetchBatch { count: 42 }).unwrap();
+        write_json(&mut buf, &Request::Shutdown).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_json::<Request>(&mut cur).unwrap(), Request::FetchBatch { count: 42 });
+        assert_eq!(read_json::<Request>(&mut cur).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn truncated_frame_errors_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAX_FRAME + 1);
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut cur = Cursor::new(buf.to_vec());
+        let err = read_frame(&mut cur).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn garbage_json_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"not json").unwrap();
+        let mut cur = Cursor::new(buf);
+        let err = read_json::<Request>(&mut cur).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic discrete-event engine.
+//!
+//! A [`Simulator`] owns a clock and an [`EventQueue`]. Handlers are boxed
+//! closures receiving `&mut Simulator<S>` plus the user state `S`, so an
+//! event may schedule further events. Two events at the same instant fire in
+//! the order they were scheduled (FIFO tie-break on a monotone sequence
+//! number), which is what makes runs reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Callback type invoked when an event fires.
+pub type Handler<S> = Box<dyn FnOnce(&mut Simulator<S>, &mut S)>;
+
+struct Entry<S> {
+    at: SimTime,
+    seq: u64,
+    handler: Handler<S>,
+}
+
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Entry<S> {}
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Entry<S> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events.
+pub struct EventQueue<S> {
+    heap: BinaryHeap<Entry<S>>,
+    next_seq: u64,
+}
+
+impl<S> Default for EventQueue<S> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<S> EventQueue<S> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    fn push(&mut self, at: SimTime, handler: Handler<S>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, handler });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Handler<S>)> {
+        self.heap.pop().map(|e| (e.at, e.handler))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+/// The simulation driver: a clock plus an event queue.
+///
+/// `S` is the user-owned simulation state, threaded into every handler. The
+/// engine itself holds no domain knowledge — the pipeline and preprocessing
+/// simulations in sibling crates supply the state and the handlers.
+pub struct Simulator<S> {
+    now: SimTime,
+    queue: EventQueue<S>,
+    fired: u64,
+}
+
+impl<S> Default for Simulator<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Simulator<S> {
+    /// Create a simulator with the clock at zero.
+    pub fn new() -> Self {
+        Simulator { now: SimTime::ZERO, queue: EventQueue::new(), fired: 0 }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `handler` to fire `after` from now.
+    pub fn schedule_in(&mut self, after: SimDuration, handler: impl FnOnce(&mut Simulator<S>, &mut S) + 'static) {
+        let at = self.now + after;
+        self.queue.push(at, Box::new(handler));
+    }
+
+    /// Schedule `handler` at an absolute instant. Instants earlier than the
+    /// current clock fire "now" (the clock never moves backwards).
+    pub fn schedule_at(&mut self, at: SimTime, handler: impl FnOnce(&mut Simulator<S>, &mut S) + 'static) {
+        let at = at.max(self.now);
+        self.queue.push(at, Box::new(handler));
+    }
+
+    /// Run until the queue drains; returns the final clock value.
+    pub fn run(&mut self, state: &mut S) -> SimTime {
+        while self.step(state) {}
+        self.now
+    }
+
+    /// Run until the queue drains or the clock passes `deadline`; events
+    /// scheduled after the deadline remain queued. Returns the clock.
+    pub fn run_until(&mut self, state: &mut S, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step(state);
+        }
+        self.now
+    }
+
+    /// Fire the single earliest event. Returns `false` when idle.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        match self.queue.pop() {
+            Some((at, handler)) => {
+                debug_assert!(at >= self.now, "event queue produced a past event");
+                self.now = at;
+                self.fired += 1;
+                handler(self, state);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::<Vec<u32>>::new();
+        let mut log = Vec::new();
+        sim.schedule_in(SimDuration::from_nanos(30), |_, s| s.push(3));
+        sim.schedule_in(SimDuration::from_nanos(10), |_, s| s.push(1));
+        sim.schedule_in(SimDuration::from_nanos(20), |_, s| s.push(2));
+        let end = sim.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(end.as_nanos(), 30);
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut sim = Simulator::<Vec<u32>>::new();
+        let mut log = Vec::new();
+        for i in 0..16 {
+            sim.schedule_in(SimDuration::from_nanos(5), move |_, s| s.push(i));
+        }
+        sim.run(&mut log);
+        assert_eq!(log, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        // A ping-pong chain: each event schedules the next until a limit.
+        fn ping(sim: &mut Simulator<u32>, count: &mut u32) {
+            *count += 1;
+            if *count < 5 {
+                sim.schedule_in(SimDuration::from_nanos(1), ping);
+            }
+        }
+        let mut sim = Simulator::new();
+        let mut count = 0u32;
+        sim.schedule_in(SimDuration::ZERO, ping);
+        let end = sim.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(end.as_nanos(), 4);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::<Vec<u32>>::new();
+        let mut log = Vec::new();
+        sim.schedule_in(SimDuration::from_nanos(10), |_, s| s.push(1));
+        sim.schedule_in(SimDuration::from_nanos(100), |_, s| s.push(2));
+        sim.run_until(&mut log, SimTime::from_nanos(50));
+        assert_eq!(log, vec![1]);
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut log);
+        assert_eq!(log, vec![1, 2]);
+    }
+
+    #[test]
+    fn schedule_at_in_the_past_fires_now() {
+        let mut sim = Simulator::<Vec<u64>>::new();
+        let mut log = Vec::new();
+        sim.schedule_in(SimDuration::from_nanos(10), |sim, _s| {
+            // Deliberately target t=1 (already passed); must fire at t=10.
+            sim.schedule_at(SimTime::from_nanos(1), |sim, s: &mut Vec<u64>| {
+                s.push(sim.now().as_nanos());
+            });
+        });
+        sim.run(&mut log);
+        assert_eq!(log, vec![10]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dt-simengine — discrete-event simulation substrate
+//!
+//! The DistTrain reproduction replaces the paper's physical GPU cluster with
+//! an analytically-timed simulation (see `DESIGN.md` §1). This crate is the
+//! substrate every simulated component builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time with
+//!   saturating arithmetic, so cost models can never panic on overflow.
+//! * [`EventQueue`] and [`Simulator`] — a classic event-driven engine in the
+//!   style the smoltcp guide recommends: simple, deterministic, no clever type
+//!   tricks. Events scheduled for the same instant fire in FIFO order, which
+//!   makes every simulation run bit-reproducible.
+//! * [`rng`] — a self-contained xoshiro256★★ PRNG. We deliberately do *not*
+//!   rely on `rand::StdRng` for load-bearing randomness because its algorithm
+//!   is not stable across `rand` versions; experiment outputs must stay
+//!   reproducible across toolchain upgrades.
+//! * [`stats`] — summary statistics (mean/percentile/CDF/histogram) used by
+//!   the data-characterization and benchmark harnesses.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventQueue, Simulator};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,227 @@
+//! Deterministic pseudo-randomness.
+//!
+//! Experiment outputs in `EXPERIMENTS.md` must be reproducible across
+//! machines and dependency upgrades, so the load-bearing RNG is implemented
+//! here: xoshiro256★★ (Blackman & Vigna) seeded through SplitMix64. The
+//! distribution helpers (uniform range, Box–Muller normal, log-normal,
+//! bounded Zipf) cover everything `dt-data` needs to model the skewed
+//! LAION-400M characteristics from §2.3 of the paper.
+
+/// xoshiro256★★ deterministic PRNG.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Seed the generator. Any seed (including 0) produces a healthy state
+    /// because seeding goes through SplitMix64.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Derive an independent child generator; used to give each simulated
+    /// component (data loader, fault injector, …) its own stream so adding
+    /// draws in one component never perturbs another.
+    pub fn fork(&mut self, stream: u64) -> DetRng {
+        DetRng::new(self.next_u64() ^ stream.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64: empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Lemire-style rejection keeps the draw unbiased.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let r = self.next_u64();
+            let (hi128, lo128) = {
+                let m = (r as u128) * (span as u128);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo128 >= threshold {
+                return lo + hi128;
+            }
+        }
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal via Box–Muller (one value per call; the pair's twin
+    /// is discarded for simplicity — determinism matters more than speed).
+    pub fn normal(&mut self) -> f64 {
+        loop {
+            let u1 = self.next_f64();
+            if u1 > 0.0 {
+                let u2 = self.next_f64();
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+
+    /// Log-normal sample with the given parameters of the underlying normal.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Zipf-like draw over ranks `1..=n` with exponent `alpha` using inverse
+    /// CDF over precomputed weights. O(n) per call is fine for the modest n
+    /// used by the data generator (images per sample).
+    pub fn zipf(&mut self, n: usize, alpha: f64) -> usize {
+        assert!(n >= 1);
+        let total: f64 = (1..=n).map(|k| (k as f64).powf(-alpha)).sum();
+        let mut target = self.next_f64() * total;
+        for k in 1..=n {
+            target -= (k as f64).powf(-alpha);
+            if target <= 0.0 {
+                return k;
+            }
+        }
+        n
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_vector_is_stable() {
+        // Pin the first outputs so accidental algorithm changes are caught:
+        // experiment reproducibility depends on this stream never changing.
+        let mut r = DetRng::new(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut root = DetRng::new(7);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut r = DetRng::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = DetRng::new(13);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut r = DetRng::new(17);
+        let mut counts = [0usize; 8];
+        for _ in 0..10_000 {
+            counts[r.zipf(8, 1.2) - 1] += 1;
+        }
+        assert!(counts[0] > counts[3]);
+        assert!(counts[3] > counts[7]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::new(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,25 @@
+//! # dt-stepccl — TP communication/computation overlap (Appendix A.1)
+//!
+//! Tensor parallelism serializes a collective after every sharded linear
+//! layer; NCCL's kernels occupy SMs and slow concurrent GEMMs. StepCCL —
+//! the paper's in-house collective library — moves the transfers to the DMA
+//! engines (no SMs), decomposes each GEMM + collective into chunk pairs,
+//! and overlaps chunk `i`'s transfer with chunk `i−1`'s GEMM (Figure 20).
+//! A final *layout remap* restores the contiguous result (Figure 21),
+//! itself overlappable with weight-gradient computation.
+//!
+//! This crate reproduces both halves:
+//!
+//! * [`overlap`] — the exact chunk-timeline algebra: baseline (sequential
+//!   collective + GEMM), NCCL-concurrent (SM-contention slowdown), and
+//!   StepCCL (DMA overlap + remap), plus the per-layer/per-stage iteration
+//!   model behind Figure 22;
+//! * [`remap`] — a real implementation of the layout remap on byte buffers
+//!   (the chunked allgather delivers `[chunk][rank]` order; training needs
+//!   `[rank][chunk]`), property-tested as a pure permutation.
+
+pub mod overlap;
+pub mod remap;
+
+pub use overlap::{nccl_concurrent_time, overlapped_time, sequential_time, StepCclModel};
+pub use remap::{remap_layout, remap_layout_into};

@@ -1,0 +1,227 @@
+//! Chunk-overlap timeline algebra and the Figure 22 iteration model.
+//!
+//! For one (GEMM, collective) pair split into `n` chunks, with the
+//! collective running on the DMA engines (no SM interference):
+//!
+//! ```text
+//! comm stream:  |c1|c2|c3|...|cn|          (sequential, C/n each)
+//! comp stream:       |g1 |g2 |...|gn |     (g_i needs c_i)
+//! ```
+//!
+//! Only `c1` sits on the critical path when the GEMM chunks are longer than
+//! the transfer chunks; otherwise the tail transfer binds. The closed form
+//! computed here is the exact longest path of that two-stream schedule.
+
+use dt_cluster::{CollectiveCost, CollectiveKind, CommDomain, GpuSpec};
+use dt_model::TransformerConfig;
+use dt_simengine::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Baseline without overlap: the collective completes, then the GEMM runs
+/// (Megatron's default serialization).
+pub fn sequential_time(gemm: SimDuration, comm: SimDuration) -> SimDuration {
+    gemm + comm
+}
+
+/// NCCL-style concurrent execution: communication and GEMM run together,
+/// but the communication kernels occupy SMs and slow the GEMM by
+/// `sm_slowdown` (≥ 1; [52] reports 1.1–1.3× for NCCL sharing). The pair
+/// finishes when both streams do.
+pub fn nccl_concurrent_time(gemm: SimDuration, comm: SimDuration, sm_slowdown: f64) -> SimDuration {
+    gemm.mul_f64(sm_slowdown.max(1.0)).max(comm)
+}
+
+/// StepCCL overlap: `chunks` chunk pairs, transfers on the DMA engine
+/// (zero SM cost), plus the layout remap at the end.
+///
+/// Exact two-stream longest path: transfer `i` ends at `(i+1)·C/n`; GEMM
+/// `i` starts at `max(end(g_{i−1}), end(c_i))` and runs `G/n`.
+pub fn overlapped_time(
+    gemm: SimDuration,
+    comm: SimDuration,
+    chunks: u32,
+    remap: SimDuration,
+) -> SimDuration {
+    let n = chunks.max(1) as u64;
+    let c = comm / n;
+    let g = gemm / n;
+    let mut comm_end = SimDuration::ZERO;
+    let mut gemm_end = SimDuration::ZERO;
+    for _ in 0..n {
+        comm_end += c;
+        gemm_end = gemm_end.max(comm_end) + g;
+    }
+    gemm_end + remap
+}
+
+/// Per-layer and per-stage iteration model behind Figure 22: the time of
+/// one PP stage of the LLM backbone (one minimal TP group) with and without
+/// StepCCL.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepCclModel {
+    /// Chunks per (GEMM, collective) pair (configurable; §A.1 footnote).
+    pub chunks: u32,
+    /// NCCL SM-contention slowdown on concurrent GEMMs.
+    pub nccl_sm_slowdown: f64,
+    /// Fraction of the remap hidden under weight-gradient computation
+    /// (§A.1: "we further overlap the remap with the computation of the
+    /// weight gradients, so eventually we nearly get the full gain").
+    pub remap_hidden_fraction: f64,
+    /// Memory bandwidth used for the (unhidden) remap copy, bytes/s.
+    pub remap_membw: f64,
+}
+
+impl Default for StepCclModel {
+    fn default() -> Self {
+        StepCclModel {
+            chunks: 4,
+            nccl_sm_slowdown: 1.15,
+            remap_hidden_fraction: 0.9,
+            remap_membw: 1.3e12, // ~HBM2e copy bandwidth
+        }
+    }
+}
+
+/// Result of one Figure 22 data point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StageIteration {
+    /// Per-stage iteration time without StepCCL (sequential collectives).
+    pub baseline: SimDuration,
+    /// Per-stage iteration time with StepCCL overlap.
+    pub stepccl: SimDuration,
+}
+
+impl StageIteration {
+    /// Baseline / StepCCL ratio (the Figure 22 bar).
+    pub fn speedup(&self) -> f64 {
+        if self.stepccl.is_zero() {
+            return 1.0;
+        }
+        self.baseline.as_secs_f64() / self.stepccl.as_secs_f64()
+    }
+}
+
+impl StepCclModel {
+    /// One training iteration of a single PP stage holding `layers` layers
+    /// of `backbone` at sequence length `seq`, TP size `tp`, microbatch
+    /// `m_samples` — forward + backward, two collective pairs per layer per
+    /// direction (attention and MLP outputs).
+    pub fn stage_iteration(
+        &self,
+        backbone: &TransformerConfig,
+        gpu: &GpuSpec,
+        coll: &CollectiveCost,
+        layers: u32,
+        seq: u64,
+        tp: u32,
+        m_samples: u32,
+    ) -> StageIteration {
+        let m = m_samples.max(1) as u64;
+        // Per-layer forward GEMM time on one TP shard.
+        let layer_flops = backbone.flops_forward_layer(seq) * m as f64 / tp.max(1) as f64;
+        let gemm_fwd = gpu.compute_time(layer_flops / 2.0) * 2; // attn + MLP halves
+        let gemm_bwd = gemm_fwd * 2;
+        // Per-pair collective volume: the s×h layer output.
+        let bytes = backbone.tp_allreduce_bytes(seq) * m;
+        let pair_comm = coll.time(CollectiveKind::AllReduce, tp, bytes, CommDomain::IntraNode);
+        let pairs_fwd = 2u64; // attention out + MLP out
+        let pairs_bwd = 2u64;
+
+        let remap_bytes = bytes;
+        let remap_raw = SimDuration::from_secs_f64(remap_bytes as f64 / self.remap_membw);
+        let remap = remap_raw.mul_f64(1.0 - self.remap_hidden_fraction.clamp(0.0, 1.0));
+
+        let base_layer = sequential_time(gemm_fwd, pair_comm * pairs_fwd)
+            + sequential_time(gemm_bwd, pair_comm * pairs_bwd);
+        let over_layer = overlapped_time(gemm_fwd, pair_comm * pairs_fwd, self.chunks, remap)
+            + overlapped_time(gemm_bwd, pair_comm * pairs_bwd, self.chunks, remap);
+
+        StageIteration { baseline: base_layer * layers as u64, stepccl: over_layer * layers as u64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_cluster::ClusterSpec;
+    use dt_model::llama;
+    use proptest::prelude::*;
+
+    fn d(us: u64) -> SimDuration {
+        SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn overlap_hides_comm_behind_long_gemm() {
+        // G=400, C=100, 4 chunks: only the first 25 of comm is exposed.
+        let t = overlapped_time(d(400), d(100), 4, SimDuration::ZERO);
+        assert_eq!(t, d(425));
+        assert!(t < sequential_time(d(400), d(100)));
+    }
+
+    #[test]
+    fn long_comm_cannot_fully_hide() {
+        // C=400, G=100: the transfer tail binds: last chunk ends at 400,
+        // then the final GEMM chunk runs 25.
+        let t = overlapped_time(d(100), d(400), 4, SimDuration::ZERO);
+        assert_eq!(t, d(425));
+    }
+
+    #[test]
+    fn more_chunks_expose_less_comm() {
+        let two = overlapped_time(d(400), d(100), 2, SimDuration::ZERO);
+        let eight = overlapped_time(d(400), d(100), 8, SimDuration::ZERO);
+        assert!(eight < two);
+        assert_eq!(eight, d(400) + d(100) / 8);
+    }
+
+    #[test]
+    fn single_chunk_degenerates_to_sequential() {
+        assert_eq!(
+            overlapped_time(d(300), d(70), 1, SimDuration::ZERO),
+            sequential_time(d(300), d(70))
+        );
+    }
+
+    #[test]
+    fn nccl_contention_slows_the_gemm() {
+        let t = nccl_concurrent_time(d(400), d(100), 1.15);
+        assert_eq!(t, d(460));
+        // Pure-comm-bound case: the max picks comm.
+        assert_eq!(nccl_concurrent_time(d(100), d(400), 1.15), d(400));
+    }
+
+    #[test]
+    fn figure_22_speedups_land_in_the_paper_band() {
+        // §A.1: 1.1–1.12× at TP=4, 1.15–1.17× at TP=8. Our constants are
+        // calibrated to land in (or near) those bands with the right
+        // ordering: gains grow with TP size.
+        let model = StepCclModel::default();
+        let gpu = GpuSpec::ampere();
+        let coll = CollectiveCost::new(ClusterSpec::production(2));
+        let bb = llama::llama3_13b();
+        let mut last = 1.0;
+        for tp in [2u32, 4, 8] {
+            let it = model.stage_iteration(&bb, &gpu, &coll, 4, 8192, tp, 1);
+            let s = it.speedup();
+            assert!(s > 1.0, "StepCCL must win at TP={tp}: {s:.3}");
+            assert!(s < 1.35, "gain at TP={tp} implausibly large: {s:.3}");
+            assert!(s >= last - 0.02, "gain should grow with TP: {s:.3} after {last:.3}");
+            last = s;
+        }
+        assert!(last > 1.08, "TP=8 gain {last:.3} below the paper's band");
+    }
+
+    proptest! {
+        /// Overlap never loses to sequential and never beats pure GEMM +
+        /// one chunk of comm.
+        #[test]
+        fn overlap_is_bounded(g in 1u64..10_000, c in 1u64..10_000, n in 1u32..16) {
+            let gemm = SimDuration::from_nanos(g * 100);
+            let comm = SimDuration::from_nanos(c * 100);
+            let t = overlapped_time(gemm, comm, n, SimDuration::ZERO);
+            prop_assert!(t <= sequential_time(gemm, comm));
+            prop_assert!(t >= gemm.max(comm));
+        }
+    }
+}

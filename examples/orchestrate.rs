@@ -1,0 +1,60 @@
+//! Adaptive orchestration across cluster sizes and freeze settings.
+//!
+//! ```text
+//! cargo run --release --example orchestrate
+//! ```
+//!
+//! Shows the §4 manager adapting GPU splits and parallelism as the
+//! cluster grows and as modules freeze — the behavior the monolithic
+//! baseline fundamentally cannot express.
+
+use disttrain::core::{SystemKind, TrainingTask};
+use disttrain::model::{FreezeConfig, MllmPreset, MultimodalLlm};
+
+fn show(task: &TrainingTask, label: &str) {
+    match task.plan(SystemKind::DistTrain) {
+        Some(plan) => {
+            println!(
+                "{label:<34} enc {:>3} | bb {:>4} (TP{} DP{} PP{}) | gen {:>3} | total {:>4}/{}",
+                plan.encoder.gpus(),
+                plan.backbone.gpus(),
+                plan.backbone.tp,
+                plan.backbone.dp,
+                plan.backbone.pp,
+                plan.generator.gpus(),
+                plan.total_gpus(),
+                task.cluster.total_gpus(),
+            );
+        }
+        None => println!("{label:<34} no feasible plan"),
+    }
+}
+
+fn main() {
+    println!("== scaling the cluster (MLLM-15B, BS grows with the cluster) ==");
+    for (nodes, bs) in [(4u32, 32u32), (12, 64), (40, 320), (81, 960)] {
+        let mut task = TrainingTask::ablation(MllmPreset::Mllm15B.build(), bs);
+        task.cluster = disttrain::cluster::ClusterSpec::production(nodes);
+        show(&task, &format!("{} GPUs, batch {bs}", nodes * 8));
+    }
+
+    println!("\n== freeze settings shift resources (MLLM-9B, 96 GPUs) ==");
+    for (name, freeze) in [
+        ("full training", FreezeConfig::none()),
+        ("projectors only (all frozen)", FreezeConfig::all_frozen()),
+        ("encoder-only training", FreezeConfig::encoder_only()),
+        ("LLM-only training", FreezeConfig::llm_only()),
+        ("generator-only training", FreezeConfig::generator_only()),
+    ] {
+        let model = MultimodalLlm::preset(MllmPreset::Mllm9B, freeze);
+        let task = TrainingTask::ablation(model, 128);
+        show(&task, name);
+    }
+
+    println!("\n== generation resolution changes the split (MLLM-72B, 96 GPUs) ==");
+    for res in [512u32, 1024] {
+        let mut task = TrainingTask::ablation(MllmPreset::Mllm72B.build(), 40);
+        task.data = disttrain::data::DataConfig::evaluation(res);
+        show(&task, &format!("generate at {res}x{res}"));
+    }
+}

@@ -1,0 +1,65 @@
+//! The real disaggregated preprocessing service (§5.1) on localhost.
+//!
+//! ```text
+//! cargo run --release --example preprocessing_service
+//! ```
+//!
+//! Spawns the producer (a TCP service doing genuine decode/resize/patchify
+//! work on a worker pool, plus the two reordering passes), connects the
+//! prefetching consumer, and contrasts the GPU-side stall with the
+//! colocated baseline — Figure 17 live.
+
+use disttrain::data::{DataConfig, ResolutionMode};
+use disttrain::model::MllmPreset;
+use disttrain::preprocess::{
+    ColocatedFeeder, DisaggregatedFeeder, ProducerConfig, ProducerHandle, ReorderMode,
+    ReorderPlanner,
+};
+use disttrain::reorder::InterReorderConfig;
+use std::time::Duration;
+
+fn main() {
+    // Keep the demo snappy: 256×256 images, 4-sample batches.
+    let data = DataConfig { resolution: ResolutionMode::Fixed(256), ..DataConfig::evaluation(256) };
+    let batch = 4u32;
+
+    println!("== colocated baseline (preprocessing blocks the trainer) ==");
+    let mut colocated = ColocatedFeeder::new(data.clone(), 42, None, 2);
+    for i in 0..3 {
+        let (b, report) = colocated.next_batch(batch);
+        println!(
+            "  iter {i}: stall {:>8.1?}  ({} samples, {:.1} MB of tokens)",
+            report.stall,
+            b.batch.len(),
+            b.tokens.len() as f64 / 1e6
+        );
+    }
+
+    println!("\n== disaggregated producer/consumer over TCP ==");
+    let planner = ReorderPlanner {
+        model: MllmPreset::Mllm9B.build(),
+        dp: 2,
+        microbatch: 1,
+        inter_cfg: InterReorderConfig::new(4, 0.05, 0.10),
+        secs_per_flop: 1e-14,
+        mode: ReorderMode::Full,
+    };
+    let mut cfg = ProducerConfig::new(data, 42);
+    cfg.workers = 4;
+    cfg.planner = Some(planner);
+    let producer = ProducerHandle::spawn(cfg).expect("spawn producer");
+    println!("  producer listening on {}", producer.addr);
+
+    let feeder = DisaggregatedFeeder::connect(producer.addr, batch, 3).expect("connect");
+    for i in 0..3 {
+        // Pretend the GPUs train for a while; the producer runs ahead.
+        std::thread::sleep(Duration::from_millis(60));
+        let (b, report) = feeder.next_batch().expect("batch");
+        println!(
+            "  iter {i}: stall {:>8.1?}  (producer spent {:?} off the critical path)",
+            report.stall, b.producer_cpu
+        );
+    }
+    println!("\nThe colocated stall is the full preprocessing cost; the disaggregated");
+    println!("stall is only the prefetch-queue wait — the Figure 17 gap, measured live.");
+}

@@ -1,0 +1,35 @@
+//! # disttrain — facade crate
+//!
+//! Re-exports the whole DistTrain reproduction workspace under one roof so
+//! examples, integration tests, and downstream users can depend on a single
+//! crate:
+//!
+//! ```
+//! use disttrain::prelude::*;
+//!
+//! let cluster = ClusterSpec::production(2);
+//! assert_eq!(cluster.total_gpus(), 16);
+//! ```
+//!
+//! See the individual crates for the subsystem documentation:
+//! [`simengine`], [`cluster`], [`model`], [`data`], [`parallel`],
+//! [`pipeline`], [`reorder`], [`orchestrator`], [`preprocess`], [`stepccl`],
+//! and [`core`] (the DistTrain manager/runtime itself).
+
+pub use disttrain_core as core;
+pub use dt_cluster as cluster;
+pub use dt_data as data;
+pub use dt_model as model;
+pub use dt_orchestrator as orchestrator;
+pub use dt_parallel as parallel;
+pub use dt_pipeline as pipeline;
+pub use dt_preprocess as preprocess;
+pub use dt_reorder as reorder;
+pub use dt_simengine as simengine;
+pub use dt_stepccl as stepccl;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use crate::cluster::{ClusterSpec, CollectiveCost, GpuSpec, NodeSpec};
+    pub use crate::simengine::{DetRng, SimDuration, SimTime};
+}
