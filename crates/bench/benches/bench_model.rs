@@ -2,13 +2,14 @@
 //! runtime's per-microbatch timing both call these functions millions of
 //! times per experiment, so they must stay in the nanosecond range.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dt_bench::timing::{bench, iters_or};
 use dt_cluster::{ClusterSpec, CollectiveCost, CollectiveKind, CommDomain};
 use dt_model::{mllm::SampleShape, MllmPreset, ModuleKind};
 use dt_orchestrator::PerfModel;
 use std::hint::black_box;
 
-fn bench_oracle(c: &mut Criterion) {
+fn main() {
+    let iters = iters_or(1000);
     let model = MllmPreset::Mllm72B.build();
     let cluster = ClusterSpec::production(162);
     let coll = CollectiveCost::new(cluster.clone());
@@ -22,24 +23,19 @@ fn bench_oracle(c: &mut Criterion) {
         gen_res: 1024,
     };
 
-    c.bench_function("unet_flops_1024", |b| {
-        b.iter(|| black_box(model.generator.flops_forward_image(black_box(1024))))
+    bench("unet_flops_1024", iters, || {
+        black_box(model.generator.flops_forward_image(black_box(1024)))
     });
-    c.bench_function("backbone_flops_8k", |b| {
-        b.iter(|| black_box(model.backbone.flops_forward(black_box(8192))))
+    bench("backbone_flops_8k", iters, || {
+        black_box(model.backbone.flops_forward(black_box(8192)))
     });
-    c.bench_function("module_fwd_time_generator", |b| {
-        b.iter(|| black_box(perf.module_fwd_time(ModuleKind::Generator, black_box(&shape), 1)))
+    bench("module_fwd_time_generator", iters, || {
+        black_box(perf.module_fwd_time(ModuleKind::Generator, black_box(&shape), 1))
     });
-    c.bench_function("hierarchical_allreduce_cost", |b| {
-        b.iter(|| black_box(coll.allreduce_hierarchical(8, 20, black_box(2 << 30))))
+    bench("hierarchical_allreduce_cost", iters, || {
+        black_box(coll.allreduce_hierarchical(8, 20, black_box(2 << 30)))
     });
-    c.bench_function("ring_allreduce_cost", |b| {
-        b.iter(|| {
-            black_box(coll.time(CollectiveKind::AllReduce, 8, black_box(1 << 26), CommDomain::IntraNode))
-        })
+    bench("ring_allreduce_cost", iters, || {
+        black_box(coll.time(CollectiveKind::AllReduce, 8, black_box(1 << 26), CommDomain::IntraNode))
     });
 }
-
-criterion_group!(benches, bench_oracle);
-criterion_main!(benches);

@@ -1,19 +1,19 @@
-//! Table 3 as a criterion benchmark: the disaggregated-model-orchestration
+//! Table 3 as a micro-benchmark: the disaggregated-model-orchestration
 //! solve time at the paper's four (cluster, batch) scales for MLLM-72B.
 //! The paper's CVX-based solver reports 133–922 ms; ours must stay
 //! sub-second at every scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_bench::timing::{bench, iters_or};
 use dt_cluster::{ClusterSpec, CollectiveCost};
 use dt_data::SyntheticLaion;
 use dt_model::MllmPreset;
 use dt_orchestrator::formulate::ProblemSpec;
 use dt_orchestrator::{Orchestrator, PerfModel, Profiler};
+use std::time::Duration;
 
-fn bench_orchestration(c: &mut Criterion) {
+fn main() {
+    let iters = iters_or(3);
     let model = MllmPreset::Mllm72B.build();
-    let mut group = c.benchmark_group("table3_orchestration");
-    group.sample_size(10);
     for (gpus, batch) in [(1296u32, 1920u32), (648, 960), (324, 480), (112, 240)] {
         let cluster = ClusterSpec::production(gpus.div_ceil(8));
         let coll = CollectiveCost::new(cluster.clone());
@@ -29,20 +29,9 @@ fn bench_orchestration(c: &mut Criterion) {
             vpp: 1,
             pp_hop_secs: 0.02,
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{gpus}gpus_bs{batch}")),
-            &spec,
-            |b, spec| {
-                b.iter(|| {
-                    Orchestrator::new(*spec)
-                        .plan_with_profile(&model, &profile)
-                        .expect("plan")
-                })
-            },
-        );
+        let mean = bench(&format!("table3_orchestration/{gpus}gpus_bs{batch}"), iters, || {
+            Orchestrator::new(spec).plan_with_profile(&model, &profile).expect("plan")
+        });
+        assert!(mean < Duration::from_secs(5), "solver implausibly slow: {mean:?}");
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_orchestration);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! the inner loop of every experiment (and of Algorithm 2's GETINTERVAL),
 //! so its cost bounds how large a configuration the harness can sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_bench::timing::{bench, iters_or};
 use dt_pipeline::{simulate, PipelineSpec, Schedule, Workload};
 use dt_simengine::{DetRng, SimDuration};
 
@@ -11,24 +11,20 @@ fn workload(p: usize, l: usize, seed: u64) -> Workload {
     let fwd: Vec<Vec<SimDuration>> = (0..p)
         .map(|_| (0..l).map(|_| SimDuration::from_micros(rng.range_u64(50, 500))).collect())
         .collect();
-    let bwd: Vec<Vec<SimDuration>> = fwd.iter().map(|row| row.iter().map(|&d| d * 2).collect()).collect();
+    let bwd: Vec<Vec<SimDuration>> =
+        fwd.iter().map(|row| row.iter().map(|&d| d * 2).collect()).collect();
     Workload { fwd, bwd }
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_simulate");
+fn main() {
+    let iters = iters_or(20);
     for (p, l) in [(4usize, 16usize), (12, 160), (34, 480)] {
         let w = workload(p, l, 7);
         for schedule in [Schedule::OneFOneB, Schedule::GPipe] {
             let spec = PipelineSpec::uniform(schedule, p, SimDuration::from_micros(10));
-            let name = format!("{schedule:?}_p{p}_l{l}");
-            group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
-                b.iter(|| simulate(&spec, w))
+            bench(&format!("pipeline_simulate/{schedule:?}_p{p}_l{l}"), iters, || {
+                simulate(&spec, &w)
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -1,29 +1,17 @@
 //! Real codec throughput (the Figure 17 work units): decompress, resize,
 //! patchify per image size, plus the end-to-end per-sample pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dt_bench::timing::{bench, iters_or};
 use dt_preprocess::codec::{decompress, patchify, resize, synth_compressed};
 
-fn bench_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codec");
-    group.sample_size(20);
+fn main() {
+    let iters = iters_or(10);
     for res in [256u32, 512, 1024] {
         let img = synth_compressed(res, 42);
         let raw = decompress(&img);
         let resized = resize(&raw, img.raw_res, res);
-        group.throughput(Throughput::Bytes(3 * res as u64 * res as u64));
-        group.bench_with_input(BenchmarkId::new("decompress", res), &img, |b, img| {
-            b.iter(|| decompress(img))
-        });
-        group.bench_with_input(BenchmarkId::new("resize", res), &raw, |b, raw| {
-            b.iter(|| resize(raw, img.raw_res, res))
-        });
-        group.bench_with_input(BenchmarkId::new("patchify", res), &resized, |b, r| {
-            b.iter(|| patchify(r, res, 16))
-        });
+        bench(&format!("codec/decompress/{res}"), iters, || decompress(&img));
+        bench(&format!("codec/resize/{res}"), iters, || resize(&raw, img.raw_res, res));
+        bench(&format!("codec/patchify/{res}"), iters, || patchify(&resized, res, 16));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

@@ -3,36 +3,22 @@
 //! disaggregated CPU nodes, but they must still keep up with iteration
 //! rates at production batch sizes (1920 samples, ~100 microbatches).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_bench::timing::{bench, iters_or};
 use dt_reorder::{inter_reorder, intra_reorder_indices, InterReorderConfig};
 use dt_simengine::DetRng;
 
-fn bench_intra(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithm1_intra");
+fn main() {
+    let iters = iters_or(50);
     for n in [128usize, 512, 1920] {
         let mut rng = DetRng::new(1);
         let sizes: Vec<f64> = (0..n).map(|_| rng.lognormal(2.0, 1.0)).collect();
         let m = 16;
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_dp{m}")), &sizes, |b, sizes| {
-            b.iter(|| intra_reorder_indices(sizes, m))
-        });
+        bench(&format!("algorithm1_intra/n{n}_dp{m}"), iters, || intra_reorder_indices(&sizes, m));
     }
-    group.finish();
-}
-
-fn bench_inter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithm2_inter");
-    group.sample_size(10);
     for (l, p) in [(16usize, 4usize), (48, 8), (120, 12)] {
         let mut rng = DetRng::new(2);
         let times: Vec<f64> = (0..l).map(|_| rng.lognormal(-2.0, 0.8)).collect();
         let cfg = InterReorderConfig::new(p, 0.1, 0.2);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("l{l}_p{p}")), &times, |b, times| {
-            b.iter(|| inter_reorder(&cfg, times))
-        });
+        bench(&format!("algorithm2_inter/l{l}_p{p}"), iters, || inter_reorder(&cfg, &times));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_intra, bench_inter);
-criterion_main!(benches);

@@ -1,42 +1,90 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro all            # every experiment, presentation order
-//! repro fig13 fig14    # specific experiments
-//! repro list           # what exists
+//! repro all                  # every experiment, presentation order
+//! repro fig13 fig14          # specific experiments
+//! repro list                 # what exists
+//! repro --trace out.json     # traced observability run (Chrome JSON +
+//!                            # per-module breakdown + per-rank Gantt)
 //! ```
+//!
+//! Any unknown experiment name is an error (exit code 2) — a misspelled
+//! name never silently degrades a regeneration run.
 //!
 //! Build with `--release`: the production-scale simulations (fig13/fig14)
 //! and the real preprocessing measurements (fig17) are CPU-heavy.
 
 use dt_bench::experiments;
+use dt_bench::tracebench;
+
+fn usage(all: &[(&str, fn() -> dt_bench::Report)]) {
+    eprintln!("usage: repro [--trace <path>] <experiment>... | all | list");
+    eprintln!("experiments:");
+    for (name, _) in all {
+        eprintln!("  {name}");
+    }
+}
+
+fn run_traced(path: &str) {
+    let started = std::time::Instant::now();
+    let run = tracebench::default_traced_run();
+    if let Err(e) = run.recorder.write_chrome_trace(std::path::Path::new(path)) {
+        eprintln!("error: cannot write trace to '{path}': {e}");
+        std::process::exit(1);
+    }
+    println!("{}", run.breakdown().render());
+    println!("{}", run.gantt(100));
+    println!(
+        "   [traced {} iterations ({} spans) into {path} in {:.1}s — open in chrome://tracing or ui.perfetto.dev]\n",
+        run.report.iterations.len(),
+        run.recorder.len(),
+        started.elapsed().as_secs_f64()
+    );
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let all = experiments::all();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h" || a == "list") {
-        eprintln!("usage: repro <experiment>... | all | list");
-        eprintln!("experiments:");
-        for (name, _) in &all {
-            eprintln!("  {name}");
+
+    let trace_path = match args.iter().position(|a| a == "--trace") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("error: --trace requires an output path");
+                std::process::exit(2);
+            }
+            Some(args.remove(i))
         }
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
+        None => None,
+    };
+
+    if args.is_empty() && trace_path.is_none() {
+        usage(&all);
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h" || a == "list") {
+        usage(&all);
+        std::process::exit(0);
+    }
+    // Validate every name up front: a misspelling anywhere (even next to
+    // `all`) must fail loudly rather than be silently skipped.
+    for arg in &args {
+        if arg != "all" && !all.iter().any(|(name, _)| name == arg) {
+            eprintln!("error: unknown experiment '{arg}' (try `repro list`)");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = &trace_path {
+        run_traced(path);
     }
 
     let selected: Vec<&(&str, fn() -> dt_bench::Report)> = if args.iter().any(|a| a == "all") {
         all.iter().collect()
     } else {
-        let mut picked = Vec::new();
-        for arg in &args {
-            match all.iter().find(|(name, _)| name == arg) {
-                Some(entry) => picked.push(entry),
-                None => {
-                    eprintln!("unknown experiment '{arg}' (try `repro list`)");
-                    std::process::exit(2);
-                }
-            }
-        }
-        picked
+        args.iter()
+            .map(|arg| all.iter().find(|(name, _)| name == arg).expect("validated above"))
+            .collect()
     };
 
     for (name, runner) in selected {

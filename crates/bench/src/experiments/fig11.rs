@@ -1,7 +1,7 @@
 //! Figure 11 — intra-microbatch reordering, the worked example.
 //!
 //! Four samples of descending size, DP = 2: the paper reorders
-//! [1, 2, 3, 4] → [1, 3, 2, 4]-style so each group holds one large and one
+//! `[1, 2, 3, 4]` → `[1, 3, 2, 4]`-style so each group holds one large and one
 //! small sample. We print the exact orders and group loads, then a larger
 //! randomized instance.
 

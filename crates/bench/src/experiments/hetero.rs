@@ -1,7 +1,7 @@
 //! Heterogeneous-hardware case study (§8).
 //!
 //! "By disaggregating three modules ... DistTrain supports using
-//! heterogeneous hardware for different modules ... we can place [the]
+//! heterogeneous hardware for different modules ... we can place \[the\]
 //! ViT encoder on more economical GPUs (e.g., NVIDIA L20)." Disaggregation
 //! is what makes this possible at all — the monolithic plan interleaves
 //! modules on the same machines.

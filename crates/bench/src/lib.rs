@@ -15,5 +15,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod timing;
+pub mod tracebench;
 
 pub use report::Report;

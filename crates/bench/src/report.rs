@@ -5,10 +5,9 @@
 //! aligned table. Keeping the output textual makes `bench_output.txt` and
 //! `EXPERIMENTS.md` diffable.
 
-use serde::{Deserialize, Serialize};
 
 /// One experiment's tabular result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// e.g. "Figure 13 — overall MFU".
     pub title: String,
@@ -75,6 +74,62 @@ impl Report {
         }
         out
     }
+}
+
+/// Aggregate a recorded trace into the per-module time breakdown
+/// (encoder / llm / generator × compute / comm / bubble / stall).
+///
+/// Spans carrying a `module` arg (the per-stage pipeline spans) land on
+/// their module's row; rank-runtime spans (gradient sync — communication —
+/// and preprocessing stall) land on a final `(runtime)` row. Durations are
+/// totals across all ranks and iterations divided by `ranks`, i.e. the
+/// mean per-rank time; `share` is the row's fraction of all attributed
+/// time.
+pub fn module_breakdown(rec: &dt_simengine::TraceRecorder, ranks: u64) -> Report {
+    use dt_simengine::trace::cat;
+    let ranks = ranks.max(1) as f64;
+    // rows[module] = [compute, comm, bubble, stall] in seconds.
+    let names = ["encoder", "llm", "generator", "(runtime)"];
+    let mut rows = [[0.0f64; 4]; 4];
+    for span in rec.spans() {
+        let secs = span.dur.as_secs_f64();
+        let col = match span.cat {
+            cat::COMPUTE_FWD | cat::COMPUTE_BWD => 0,
+            cat::COMM | cat::GRAD_SYNC => 1,
+            cat::BUBBLE => 2,
+            cat::STALL => 3,
+            _ => continue,
+        };
+        let row = match span.args.iter().find(|(k, _)| *k == "module") {
+            Some((_, m)) => match names.iter().position(|n| n == m) {
+                Some(i) => i,
+                None => continue,
+            },
+            // Rank-runtime spans (grad sync / stall) have no module label.
+            None if matches!(span.cat, cat::GRAD_SYNC | cat::STALL) => 3,
+            None => continue,
+        };
+        rows[row][col] += secs / ranks;
+    }
+    let grand: f64 = rows.iter().flatten().sum();
+    let mut report = Report::new(
+        "Per-module time breakdown (mean per rank)",
+        &["module", "compute", "comm", "bubble", "stall", "share"],
+    );
+    report.note("compute/comm/bubble from the per-stage pipeline spans;");
+    report.note("comm on the (runtime) row is gradient synchronization.");
+    for (name, row) in names.iter().zip(&rows) {
+        let total: f64 = row.iter().sum();
+        report.row(vec![
+            name.to_string(),
+            fmt_secs(row[0]),
+            fmt_secs(row[1]),
+            fmt_secs(row[2]),
+            fmt_secs(row[3]),
+            fmt_pct(if grand > 0.0 { total / grand } else { 0.0 }),
+        ]);
+    }
+    report
 }
 
 /// Format seconds adaptively (s / ms / µs).

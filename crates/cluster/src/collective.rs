@@ -19,10 +19,9 @@
 
 use crate::topology::ClusterSpec;
 use dt_simengine::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Which collective operation is being costed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CollectiveKind {
     /// Sum-reduce to every rank (gradient sync, TP row-parallel output).
     AllReduce,
@@ -37,7 +36,7 @@ pub enum CollectiveKind {
 }
 
 /// Where the communicating group lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommDomain {
     /// Entire group within one node: NVLink bandwidth.
     IntraNode,

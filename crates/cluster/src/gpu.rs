@@ -7,10 +7,9 @@
 //! `min_efficiency` so no operation is infinitely slow.
 
 use dt_simengine::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Static description of one GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name, for reports.
     pub name: String,
@@ -31,7 +30,7 @@ impl GpuSpec {
     /// The paper's production GPU: NVIDIA Ampere class (A100-80GB-like).
     /// 312 TFLOP/s bf16 peak, 80 GB HBM. `max_efficiency` 0.66 reflects the
     /// fraction of peak well-tuned bf16 GEMMs reach on A100 (~65–72% in
-    /// vendor benchmarks); end-to-end text-LLM MFU of ≥55% (MegaScale [35],
+    /// vendor benchmarks); end-to-end text-LLM MFU of ≥55% (MegaScale \[35\],
     /// and this paper's 54.7%) bounds it from below once pipeline and
     /// communication losses are added on top.
     pub fn ampere() -> Self {

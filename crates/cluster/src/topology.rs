@@ -6,10 +6,9 @@
 //! so same-index GPUs across nodes communicate without sharing NICs).
 
 use crate::gpu::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// One server node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// GPUs installed in the node.
     pub gpus_per_node: u32,
@@ -51,7 +50,7 @@ impl NodeSpec {
 }
 
 /// A homogeneous cluster of identical nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Node description.
     pub node: NodeSpec,

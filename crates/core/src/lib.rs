@@ -24,7 +24,7 @@ pub mod metrics;
 pub mod runtime;
 pub mod system;
 
-pub use fault::{run_with_failure, FaultPlan, FaultReport};
+pub use fault::{run_with_failure, run_with_failure_traced, FaultPlan, FaultReport};
 pub use metrics::{IterationReport, TrainingReport};
 pub use runtime::{Runtime, RuntimeConfig};
 pub use system::{PreprocessingMode, SystemKind, TrainingSystem, TrainingTask};

@@ -6,10 +6,9 @@
 //! Throughput is reported in samples/s and tokens/s.
 
 use dt_simengine::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Metrics of one simulated training iteration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IterationReport {
     /// End-to-end iteration time.
     pub iter_time: SimDuration,
@@ -64,7 +63,7 @@ impl IterationReport {
 }
 
 /// Aggregate over a training run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainingReport {
     /// Per-iteration reports, in order.
     pub iterations: Vec<IterationReport>,

@@ -21,17 +21,17 @@ use dt_data::{DataConfig, GlobalBatch, Microbatch, SyntheticLaion, TrainSample};
 use dt_model::{ModuleKind, MultimodalLlm};
 use dt_orchestrator::PerfModel;
 use dt_parallel::{BrokerLink, OrchestrationPlan};
-use dt_pipeline::{simulate, PipelineSpec, Schedule, Workload};
+use dt_pipeline::{record_pipeline_trace, simulate, PipelineSpec, PipelineTraceOpts, Schedule, Workload};
 use dt_preprocess::{ReorderMode, ReorderPlanner};
 use dt_reorder::InterReorderConfig;
-use dt_simengine::SimDuration;
-use serde::{Deserialize, Serialize};
+use dt_simengine::trace::{cat, TraceRecorder, TraceSpan};
+use dt_simengine::{SimDuration, SimTime};
 
 use crate::metrics::{IterationReport, TrainingReport};
 use crate::system::PreprocessingMode;
 
 /// Runtime knobs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Iterations to simulate.
     pub iterations: u32,
@@ -272,8 +272,34 @@ impl<'a> Runtime<'a> {
         }
     }
 
+    /// Per-pipeline-stage module label ("encoder"/"llm"/"generator") under
+    /// this plan's PP splits — the `module` dimension of the trace and of
+    /// the bench report's time breakdown.
+    pub fn stage_modules(&self) -> Vec<String> {
+        let mut v = vec!["encoder".to_string(); self.plan.encoder.pp as usize];
+        v.extend(vec!["llm".to_string(); self.plan.backbone.pp as usize]);
+        v.extend(vec!["generator".to_string(); self.plan.generator.pp as usize]);
+        v
+    }
+
     /// Simulate one iteration over `batch` (already reordered).
     pub fn simulate_iteration(&self, perf: &PerfModel<'_>, batch: &GlobalBatch) -> IterationReport {
+        self.simulate_iteration_traced(perf, batch, &mut TraceRecorder::disabled())
+    }
+
+    /// [`Runtime::simulate_iteration`] with span emission: one Chrome-trace
+    /// process per DP rank (stage threads from
+    /// [`dt_pipeline::record_pipeline_trace`], padded to the slowest rank's
+    /// makespan so every rank tiles the same window), plus a *runtime*
+    /// thread (`tid` = stage count) carrying the gradient-sync span and the
+    /// rank's preprocessing-stall span. Costs nothing when `rec` is
+    /// disabled.
+    pub fn simulate_iteration_traced(
+        &self,
+        perf: &PerfModel<'_>,
+        batch: &GlobalBatch,
+        rec: &mut TraceRecorder,
+    ) -> IterationReport {
         let coll = CollectiveCost::new(self.cluster.clone());
         let dp = self.plan.backbone.dp;
         let per_rank = batch.split(dp, self.plan.microbatch);
@@ -283,6 +309,8 @@ impl<'a> Runtime<'a> {
         let mut pipeline_time = SimDuration::ZERO;
         let mut bubble_sum = 0.0;
         let mut stall = SimDuration::ZERO;
+        let mut results = Vec::new();
+        let mut stalls = Vec::new();
         for rank_mbs in &per_rank {
             let workload = self.build_workload_for(perf, rank_mbs);
             let result = simulate(&spec, &workload);
@@ -291,7 +319,12 @@ impl<'a> Runtime<'a> {
             let rank_samples: Vec<&TrainSample> =
                 rank_mbs.iter().flat_map(|mb| mb.samples.iter()).collect();
             let token_bytes: u64 = rank_samples.iter().map(|s| 3 * s.total_pixels()).sum();
-            stall = stall.max(self.preprocess_stall(&rank_samples, token_bytes));
+            let rank_stall = self.preprocess_stall(&rank_samples, token_bytes);
+            stall = stall.max(rank_stall);
+            if rec.is_enabled() {
+                results.push(result);
+                stalls.push(rank_stall);
+            }
         }
 
         let grad_sync = ModuleKind::ALL
@@ -306,6 +339,40 @@ impl<'a> Runtime<'a> {
                 perf.grad_sync_time(k, dp_eff, tp, p.pp)
             })
             .fold(SimDuration::ZERO, SimDuration::max);
+
+        if rec.is_enabled() {
+            let modules = self.stage_modules();
+            let runtime_tid = modules.len() as u64;
+            for (rank, result) in results.iter().enumerate() {
+                let opts = PipelineTraceOpts {
+                    pid: rank as u64,
+                    pad_to: Some(pipeline_time),
+                    stage_modules: modules.clone(),
+                };
+                record_pipeline_trace(rec, result, &spec.comm, &opts);
+                let sync_start = SimTime::ZERO + pipeline_time;
+                if !grad_sync.is_zero() {
+                    rec.record(TraceSpan::new(
+                        "grad_sync".to_string(),
+                        cat::GRAD_SYNC,
+                        rank as u64,
+                        runtime_tid,
+                        sync_start,
+                        grad_sync,
+                    ));
+                }
+                if !stalls[rank].is_zero() {
+                    rec.record(TraceSpan::new(
+                        "preprocess_stall".to_string(),
+                        cat::STALL,
+                        rank as u64,
+                        runtime_tid,
+                        sync_start + grad_sync,
+                        stalls[rank],
+                    ));
+                }
+            }
+        }
 
         let model_flops: f64 = batch
             .samples
@@ -347,15 +414,36 @@ impl<'a> Runtime<'a> {
 
     /// Run the configured number of iterations.
     pub fn run(&self) -> TrainingReport {
+        self.run_traced(&mut TraceRecorder::disabled())
+    }
+
+    /// [`Runtime::run`] with span emission. Iterations are laid out
+    /// back-to-back on the trace timeline (the recorder origin advances by
+    /// each iteration's `iter_time`), and every iteration additionally gets
+    /// one umbrella span on a dedicated process (`pid` = the DP world size)
+    /// so trace viewers show the iteration boundaries.
+    pub fn run_traced(&self, rec: &mut TraceRecorder) -> TrainingReport {
         let coll = CollectiveCost::new(self.cluster.clone());
         let perf = self.perf_model(&coll);
         let planner = self.planner_for(&perf);
         let mut gen = SyntheticLaion::new(self.data.clone(), self.cfg.seed);
         let mut iterations = Vec::with_capacity(self.cfg.iterations as usize);
-        for _ in 0..self.cfg.iterations {
+        for i in 0..self.cfg.iterations {
             let samples = planner.reorder(gen.take(self.cfg.global_batch as usize));
             let batch = GlobalBatch::new(samples);
-            iterations.push(self.simulate_iteration(&perf, &batch));
+            let report = self.simulate_iteration_traced(&perf, &batch, rec);
+            if rec.is_enabled() {
+                rec.record(TraceSpan::new(
+                    format!("iteration {i}"),
+                    cat::ITERATION,
+                    self.plan.backbone.dp as u64,
+                    0,
+                    SimTime::ZERO,
+                    report.iter_time,
+                ));
+                rec.set_origin(rec.origin() + report.iter_time);
+            }
+            iterations.push(report);
         }
         TrainingReport { iterations, peak_flops_per_gpu: self.cluster.node.gpu.peak_flops }
     }
@@ -479,6 +567,82 @@ mod tests {
             "all-to-all must not dominate: {:.2}s vs {:.2}s",
             ep8.mean_iter_secs(),
             ep1.mean_iter_secs()
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_tiles_iteration_time() {
+        let model = MllmPreset::Mllm9B.build();
+        let cluster = ClusterSpec::production(20);
+        let plan = OrchestrationPlan {
+            encoder: ModulePlan::new(1, 8, 1),
+            backbone: ModulePlan::new(8, 8, 2),
+            generator: ModulePlan::new(1, 8, 1),
+            microbatch: 1,
+        };
+        let rt = Runtime {
+            model: &model,
+            cluster: &cluster,
+            plan,
+            data: DataConfig::evaluation(model.gen_resolution),
+            cfg: RuntimeConfig::disttrain(32, 2),
+        };
+        let mut rec = TraceRecorder::enabled();
+        let traced = rt.run_traced(&mut rec);
+        let plain = rt.run();
+        assert_eq!(traced.mean_iter_secs(), plain.mean_iter_secs(), "tracing must not perturb results");
+
+        rec.validate_nesting().expect("spans disjoint per track");
+        let dp = rt.plan.backbone.dp as u64;
+        let stages = rt.stage_modules().len() as u64;
+        // Stage tracks tile exactly the summed pipeline windows, on every
+        // rank — the trace↔IterationReport consistency contract.
+        let total_pipeline: SimDuration = traced.iterations.iter().map(|i| i.pipeline_time).sum();
+        for rank in 0..dp {
+            for tid in 0..stages {
+                assert_eq!(
+                    rec.track_total(rank, tid, None),
+                    total_pipeline,
+                    "rank {rank} stage {tid} must tile the pipeline windows"
+                );
+            }
+        }
+        // Iteration umbrella spans sum to the end-to-end training time.
+        let total_iter: SimDuration = traced.iterations.iter().map(|i| i.iter_time).sum();
+        assert_eq!(rec.category_total(cat::ITERATION), total_iter);
+        // Gradient sync is recorded once per rank per iteration.
+        let total_sync: SimDuration = traced.iterations.iter().map(|i| i.grad_sync).sum();
+        assert_eq!(rec.category_total(cat::GRAD_SYNC), total_sync * dp);
+        // Per-rank stall never exceeds the (max-over-ranks) reported stall.
+        let total_stall: SimDuration =
+            traced.iterations.iter().map(|i| i.preprocess_stall).sum();
+        let max_stall_track = (0..dp)
+            .map(|r| rec.track_total(r, stages, Some(cat::STALL)))
+            .max()
+            .unwrap();
+        assert!(max_stall_track <= total_stall);
+        assert!(!max_stall_track.is_zero(), "disaggregated RPC stall is small but nonzero");
+    }
+
+    #[test]
+    fn stage_modules_follow_the_pp_split() {
+        let model = MllmPreset::Mllm9B.build();
+        let cluster = ClusterSpec::production(20);
+        let rt = Runtime {
+            model: &model,
+            cluster: &cluster,
+            plan: OrchestrationPlan {
+                encoder: ModulePlan::new(1, 8, 2),
+                backbone: ModulePlan::new(8, 8, 3),
+                generator: ModulePlan::new(1, 8, 1),
+                microbatch: 1,
+            },
+            data: DataConfig::evaluation(model.gen_resolution),
+            cfg: RuntimeConfig::disttrain(32, 1),
+        };
+        assert_eq!(
+            rt.stage_modules(),
+            ["encoder", "encoder", "llm", "llm", "llm", "generator"]
         );
     }
 

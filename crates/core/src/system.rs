@@ -12,10 +12,9 @@ use dt_orchestrator::{Orchestrator, PerfModel, Profiler};
 use dt_parallel::OrchestrationPlan;
 use dt_preprocess::ReorderMode;
 use dt_simengine::DetRng;
-use serde::{Deserialize, Serialize};
 
 /// Which system's policies to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SystemKind {
     /// Disaggregated orchestration + disaggregated preprocessing +
     /// two-level reordering.
@@ -39,7 +38,7 @@ impl std::fmt::Display for SystemKind {
 }
 
 /// Where data preprocessing runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PreprocessingMode {
     /// On the training nodes, blocking the trainer (§2.1's monolithic
     /// co-location) with this many spare CPU workers.
@@ -52,6 +51,30 @@ pub enum PreprocessingMode {
 }
 
 /// A complete training task description.
+///
+/// This is the quickstart entry point: describe the task, let the manager
+/// plan it, and simulate training (the `examples/quickstart.rs` walkthrough
+/// in executable form):
+///
+/// ```
+/// use disttrain_core::{SystemKind, TrainingTask};
+/// use dt_model::MllmPreset;
+///
+/// // MLLM-9B (ViT-Huge + Llama3-7B + SD 2.1) on the §7.2 ablation cluster.
+/// let preset = MllmPreset::Mllm9B;
+/// let task = TrainingTask::ablation(preset.build(), preset.ablation_global_batch());
+///
+/// // The manager picks the disaggregated orchestration (§4)…
+/// let plan = task.plan(SystemKind::DistTrain).expect("orchestration");
+/// assert!(plan.total_gpus() <= task.cluster.total_gpus());
+/// assert!(plan.backbone.gpus() > plan.encoder.gpus(), "backbone dominates 9B");
+///
+/// // …and the runtime simulates training with the full data path (§5).
+/// let report = task.run(SystemKind::DistTrain, 1).expect("training run");
+/// let mfu = report.mfu();
+/// assert!((0.05..0.70).contains(&mfu), "MFU {mfu:.3} must be physical");
+/// assert!(report.samples_per_sec() > 0.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct TrainingTask {
     /// The multimodal LLM (with its freeze configuration).

@@ -9,10 +9,9 @@
 //! microbatches *within* one chunk.
 
 use crate::dataset::TrainSample;
-use serde::{Deserialize, Serialize};
 
 /// The samples of one DP rank's microbatch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Microbatch {
     /// Samples trained together in one pipeline pass.
     pub samples: Vec<TrainSample>,
@@ -41,7 +40,7 @@ impl Microbatch {
 }
 
 /// One iteration's worth of training samples, in training order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlobalBatch {
     /// All samples, in the (possibly reordered) order they will be
     /// dispatched.

@@ -5,10 +5,9 @@
 //! subsequences clustered at popular resolutions, and the per-sample image
 //! count skewed towards few images with a heavy tail.
 
-use serde::{Deserialize, Serialize};
 
 /// How image resolutions are drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ResolutionMode {
     /// Every image uses one resolution — the §7 training setting
     /// (512×512 for MLLM-9B/15B, 1024×1024 for MLLM-72B).
@@ -19,7 +18,7 @@ pub enum ResolutionMode {
 }
 
 /// Parameters of the synthetic LAION-like stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataConfig {
     /// Packed sequence length in tokens (8192 in the paper).
     pub seq_len: u64,

@@ -12,7 +12,6 @@
 use crate::dataset::TrainSample;
 use dt_model::{MultimodalLlm, ModuleKind};
 use dt_simengine::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Exact forward FLOPs of `module` for `sample` under `model`, walking the
 /// per-image resolution list.
@@ -58,7 +57,7 @@ pub fn multimodal_size(model: &MultimodalLlm, sample: &TrainSample) -> f64 {
 }
 
 /// CPU preprocessing throughput model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PreprocessCostModel {
     /// JPEG-class decompression throughput, *output* bytes per second per
     /// worker.

@@ -10,10 +10,9 @@
 use crate::config::{DataConfig, ResolutionMode};
 use dt_model::mllm::SampleShape;
 use dt_simengine::DetRng;
-use serde::{Deserialize, Serialize};
 
 /// One packed multimodal training sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainSample {
     /// Monotone id within the stream.
     pub id: u64,

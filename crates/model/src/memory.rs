@@ -4,8 +4,8 @@
 //! the LLM backbone; encoder/generator are analogous):
 //!
 //! * parameters + gradients: `P / (PP × TP)` — bf16 weights (2 B/param) and
-//!   fp32 main gradients (4 B/param) under mixed-precision training [45];
-//! * optimizer states: `S / (DP × PP × TP)` — ZeRO-1 [51] shards the Adam
+//!   fp32 main gradients (4 B/param) under mixed-precision training \[45\];
+//! * optimizer states: `S / (DP × PP × TP)` — ZeRO-1 \[51\] shards the Adam
 //!   states (fp32 master copy + two moments = 12 B/param) across DP ranks;
 //! * activations: under 1F1B the first PP stage stashes `PP` in-flight
 //!   microbatches, so the peak is `PP × L/(PP × TP) × M = L·M / TP` where
@@ -15,7 +15,6 @@
 //! Frozen modules keep bf16 weights but need no gradients or optimizer
 //! states.
 
-use serde::{Deserialize, Serialize};
 
 /// Bytes per parameter for bf16 weights.
 pub const WEIGHT_BYTES: u64 = 2;
@@ -28,7 +27,7 @@ pub const OPTIMIZER_BYTES: u64 = 12;
 pub const RESERVED_BYTES: u64 = 6 * (1 << 30);
 
 /// Memory-relevant description of one module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModuleMemory {
     /// Parameter count.
     pub params: u64,

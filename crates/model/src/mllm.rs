@@ -15,10 +15,9 @@ use crate::transformer::TransformerConfig;
 use crate::unet::UNetConfig;
 use crate::vit::VitConfig;
 use crate::{llama, memory};
-use serde::{Deserialize, Serialize};
 
 /// The three disaggregatable modules of a multimodal LLM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModuleKind {
     /// Modality encoder (ViT + input projector).
     Encoder,
@@ -45,7 +44,7 @@ impl std::fmt::Display for ModuleKind {
 
 /// Which modules are frozen (§7.3 *Frozen training*). Frozen modules run
 /// forward only: no weight gradients, no optimizer state, backward cost 0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FreezeConfig {
     /// Encoder weights frozen.
     pub encoder: bool,
@@ -96,7 +95,7 @@ impl FreezeConfig {
 /// The paper interleaves modality subsequences into fixed 8192-token
 /// sequences (§2.3); `text_tokens + image_tokens == seq_len` always holds
 /// for packed samples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SampleShape {
     /// Text tokens in the packed sequence.
     pub text_tokens: u64,
@@ -128,7 +127,7 @@ impl SampleShape {
 }
 
 /// A fully specified multimodal LLM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultimodalLlm {
     /// Name for reports (e.g. "MLLM-9B").
     pub name: String,
@@ -151,7 +150,7 @@ pub struct MultimodalLlm {
 }
 
 /// The evaluation presets of §7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MllmPreset {
     /// Llama3-7B backbone, 512×512 generation.
     Mllm9B,
@@ -290,7 +289,7 @@ impl MultimodalLlm {
 }
 
 /// One row of Table 1 — the architecture survey of state-of-the-art MLLMs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ZooEntry {
     /// Model name.
     pub model: String,

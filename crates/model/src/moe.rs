@@ -14,10 +14,9 @@
 //! (dispatch + combine) to move each token's hidden state to and from its
 //! experts' owners.
 
-use serde::{Deserialize, Serialize};
 
 /// Sparse-FFN (MoE) configuration attached to a transformer stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MoeConfig {
     /// Number of experts per MoE layer.
     pub experts: u32,

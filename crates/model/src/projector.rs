@@ -7,10 +7,9 @@
 //! the projector with the adjacent encoder/generator and replicates it as
 //! needed (§4.1).
 
-use serde::{Deserialize, Serialize};
 
 /// A two-layer MLP projector between component hidden spaces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProjectorConfig {
     /// Input width (producer module's hidden size).
     pub in_dim: u64,

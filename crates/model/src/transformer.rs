@@ -13,10 +13,9 @@
 //!   MFU accounting uses.
 
 use crate::moe::MoeConfig;
-use serde::{Deserialize, Serialize};
 
 /// Architecture of a dense (non-MoE) transformer stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformerConfig {
     /// Human-readable name for reports.
     pub name: String,
@@ -38,7 +37,6 @@ pub struct TransformerConfig {
     pub gated_mlp: bool,
     /// Sparse mixture-of-experts FFN; `None` for a dense stack. Experts
     /// multiply FFN parameters; only `top_k` of them multiply FLOPs.
-    #[serde(default)]
     pub moe: Option<MoeConfig>,
 }
 

@@ -12,10 +12,9 @@
 //! noise-prediction forward+backward per image (no sampling loop), which is
 //! what the cost functions here describe.
 
-use serde::{Deserialize, Serialize};
 
 /// Block-structured UNet description (SD-style).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UNetConfig {
     /// Name for reports.
     pub name: String,
@@ -40,7 +39,7 @@ pub struct UNetConfig {
 }
 
 impl UNetConfig {
-    /// Stable Diffusion 2.1 UNet (≈0.9 B params): base 320, mult [1,2,4,4],
+    /// Stable Diffusion 2.1 UNet (≈0.9 B params): base 320, mult `[1,2,4,4]`,
     /// 2 res blocks, attention at the three shallower levels, 1024-wide
     /// cross-attention context.
     pub fn sd21() -> Self {

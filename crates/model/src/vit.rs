@@ -7,10 +7,9 @@
 //! the root cause of the encoder-side data heterogeneity.
 
 use crate::transformer::TransformerConfig;
-use serde::{Deserialize, Serialize};
 
 /// Vision-transformer encoder configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VitConfig {
     /// The transformer trunk.
     pub trunk: TransformerConfig,

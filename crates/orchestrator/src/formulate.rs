@@ -27,10 +27,9 @@ use crate::perf::PerfModel;
 use crate::profiler::TaskProfile;
 use dt_model::ModuleKind;
 use dt_parallel::{ModulePlan, OrchestrationPlan};
-use serde::{Deserialize, Serialize};
 
 /// Problem constants shared by all candidates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProblemSpec {
     /// Total GPUs available (`N`).
     pub total_gpus: u32,
@@ -53,7 +52,7 @@ pub struct ProblemSpec {
 }
 
 /// One point of the finite TP/DP lattice of §4.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Candidate {
     /// Backbone TP.
     pub tp_lm: u32,
@@ -66,7 +65,7 @@ pub struct Candidate {
 }
 
 /// Decomposed objective value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Objective {
     /// Warm-up phase seconds (Eq. 1, divided by the VPP size).
     pub warmup: f64,

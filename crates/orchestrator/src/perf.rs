@@ -149,7 +149,7 @@ impl<'a> PerfModel<'a> {
     /// Per-layer MoE all-to-all time (dispatch + combine, forward) over an
     /// EP group of `ep` ranks for `seq` tokens: each token's bf16 hidden
     /// state travels to its `top_k` experts' owners and back (§4.1 /
-    /// Janus-style expert parallelism [43]). EP groups span nodes, so the
+    /// Janus-style expert parallelism \[43\]). EP groups span nodes, so the
     /// transfers ride the RDMA fabric.
     pub fn moe_all_to_all_time(&self, seq: u64, ep: u32) -> SimDuration {
         let Some(moe) = self.model.backbone.moe else {

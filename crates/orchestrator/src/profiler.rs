@@ -16,13 +16,12 @@
 use crate::perf::PerfModel;
 use dt_data::TrainSample;
 use dt_model::{mllm::SampleShape, ModuleKind};
-use serde::{Deserialize, Serialize};
 
 /// TP sizes profiled (one NVIDIA node, §4.3).
 pub const TRIAL_TPS: [u32; 4] = [1, 2, 4, 8];
 
 /// Piecewise-linear per-sample time functions of one module.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModuleProfile {
     /// `(tp, seconds)` trial points for the forward pass, ascending tp.
     pub fwd_points: Vec<(u32, f64)>,
@@ -67,7 +66,7 @@ impl ModuleProfile {
 }
 
 /// The full profile for one training task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskProfile {
     /// Encoder `C_me`.
     pub encoder: ModuleProfile,

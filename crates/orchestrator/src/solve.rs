@@ -12,7 +12,7 @@
 //! optimum spends the whole remainder (`x + z = R`). We golden-section
 //! search the resulting 1-D convex function and round to the feasible
 //! integer lattice (`x` a multiple of `TP_me`, `z` of `TP_mg`) — the role
-//! CVX [3] plays in the real system. Tests validate the search against
+//! CVX \[3\] plays in the real system. Tests validate the search against
 //! brute force over the entire lattice.
 
 use crate::formulate::{objective, Candidate, Objective, ProblemSpec};
@@ -185,7 +185,6 @@ mod tests {
     use crate::profiler::ModuleProfile;
     use dt_model::mllm::SampleShape;
     use dt_simengine::DetRng;
-    use proptest::prelude::*;
 
     fn profile(c_me: f64, c_lm: f64, c_mg: f64) -> TaskProfile {
         let curve = |c: f64| ModuleProfile {
@@ -251,11 +250,11 @@ mod tests {
         assert!(solve_inner(&s, &p, &cand, 8).is_none());
     }
 
-    proptest! {
-        /// The fast solver is never more than 2% worse than brute force,
-        /// across random cost mixes and lattices.
-        #[test]
-        fn fast_solver_tracks_brute_force(seed in 0u64..200) {
+    /// The fast solver is never more than 2% worse than brute force,
+    /// across random cost mixes and lattices (seed-swept property).
+    #[test]
+    fn fast_solver_tracks_brute_force() {
+        for seed in 0u64..200 {
             let mut rng = DetRng::new(seed);
             let p = profile(
                 rng.range_f64(0.1, 3.0),
@@ -271,14 +270,16 @@ mod tests {
             };
             let s = spec(96, 128);
             let y = cand.tp_lm * cand.dp_lm; // PP_lm = 1
-            if y >= s.total_gpus { return Ok(()); }
+            if y >= s.total_gpus {
+                continue;
+            }
             match (solve_inner(&s, &p, &cand, y), solve_inner_brute(&s, &p, &cand, y)) {
                 (Some(f), Some(b)) => {
                     let rel = (f.objective.total() - b.objective.total()) / b.objective.total();
-                    prop_assert!(rel < 0.02, "fast {} vs brute {}", f.objective.total(), b.objective.total());
+                    assert!(rel < 0.02, "seed {seed}: fast {} vs brute {}", f.objective.total(), b.objective.total());
                 }
                 (None, None) => {}
-                (f, b) => prop_assert!(false, "feasibility mismatch: {:?} vs {:?}", f, b),
+                (f, b) => panic!("seed {seed}: feasibility mismatch: {f:?} vs {b:?}"),
             }
         }
     }

@@ -11,7 +11,6 @@
 
 use dt_cluster::CollectiveCost;
 use dt_simengine::SimDuration;
-use serde::{Deserialize, Serialize};
 
 fn gcd(a: u32, b: u32) -> u32 {
     if b == 0 {
@@ -22,7 +21,7 @@ fn gcd(a: u32, b: u32) -> u32 {
 }
 
 /// Where a broker resides.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BrokerSide {
     /// On the GPU of the upstream unit's last PP stage.
     UpstreamLastStage,
@@ -31,7 +30,7 @@ pub enum BrokerSide {
 }
 
 /// The broker link bridging two adjacent units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BrokerLink {
     /// Upstream unit's (effective) DP width.
     pub upstream_dp: u32,

@@ -9,10 +9,9 @@
 //! order, which the cost models in `dt-cluster` assume.
 
 use crate::plan::ModulePlan;
-use serde::{Deserialize, Serialize};
 
 /// Rank→group assignment of one parallelism unit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnitLayout {
     /// First global rank of the unit.
     pub base_rank: u32,

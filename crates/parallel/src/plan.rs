@@ -1,10 +1,9 @@
 //! Orchestration plans: who gets which GPUs with which parallelism.
 
 use dt_model::{memory::ModuleMemory, mllm::SampleShape, ModuleKind, MultimodalLlm};
-use serde::{Deserialize, Serialize};
 
 /// Parallelism assignment of one module (one parallelism unit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModulePlan {
     /// Tensor-parallel size (1, 2, 4 or 8 — confined to one NVLink node,
     /// §4.3).
@@ -21,21 +20,15 @@ pub struct ModulePlan {
     /// contributes `tp×` data throughput.
     pub replicate_in_tp_group: bool,
     /// Sequence parallelism within the TP group (§4.1: "to handle long
-    /// sequences, [DistTrain] integrates sequence parallelism within the
+    /// sequences, \[DistTrain\] integrates sequence parallelism within the
     /// LLM backbone unit"). Splits the non-tensor-parallel activation
     /// regions across the TP ranks, shrinking the 1F1B activation stash.
-    #[serde(default)]
     pub sp: bool,
     /// Expert-parallel group size for MoE backbones (§4.1: the TP
     /// formulation "remains valid when TP is replaced with EP"). Experts
     /// are sharded across `ep` ranks drawn from the DP dimension; `ep`
     /// must divide `dp`. 1 for dense models.
-    #[serde(default = "default_ep")]
     pub ep: u32,
-}
-
-fn default_ep() -> u32 {
-    1
 }
 
 impl ModulePlan {
@@ -120,7 +113,7 @@ impl ModulePlan {
 }
 
 /// Full assignment for one multimodal LLM training task (Figure 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OrchestrationPlan {
     /// Encoder unit plan.
     pub encoder: ModulePlan,

@@ -6,11 +6,11 @@
 //! *pipeline schedule* executed over per-stage, per-microbatch durations.
 //! This crate simulates those schedules exactly:
 //!
-//! * [`Schedule::OneFOneB`] — the 1F1B scheme [29] DistTrain uses
-//!   (GPipe [33] "consumes more memory without offering better training
+//! * [`Schedule::OneFOneB`] — the 1F1B scheme \[29\] DistTrain uses
+//!   (GPipe \[33\] "consumes more memory without offering better training
 //!   efficiency", §4.2, but is implemented for comparison);
 //! * [`Schedule::GPipe`] — all-forward-then-all-backward flush schedule;
-//! * [`Schedule::Interleaved`] — virtual-pipeline-parallelism (VPP [46]),
+//! * [`Schedule::Interleaved`] — virtual-pipeline-parallelism (VPP \[46\]),
 //!   modeled per §4.3: the same 1F1B dependency structure with the warm-up
 //!   contribution divided by the VPP size.
 //!
@@ -23,13 +23,20 @@
 //! Multi-unit pipelines (encoder unit → broker → LLM unit → broker →
 //! generator unit, Figure 9) are expressed by concatenating the units'
 //! stages and assigning the broker hop cost to the boundary between them.
+//!
+//! Observability: [`trace::record_pipeline_trace`] converts an executed
+//! [`PipelineResult`] into compute/comm/bubble [`dt_simengine::TraceSpan`]s
+//! (one Chrome-trace thread per stage), and [`gantt::render_trace_gantt`]
+//! renders the same attribution as per-rank ASCII rows.
 
 pub mod gantt;
 pub mod result;
 pub mod schedule;
 pub mod sim;
+pub mod trace;
 
-pub use gantt::render_gantt;
+pub use gantt::{render_gantt, render_trace_gantt};
 pub use result::{OpKind, OpRecord, PipelineResult};
 pub use schedule::Schedule;
 pub use sim::{simulate, PipelineSpec, Workload};
+pub use trace::{record_pipeline_trace, PipelineTraceOpts};

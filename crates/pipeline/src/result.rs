@@ -1,10 +1,9 @@
 //! Simulation output: the executed timeline plus derived metrics.
 
 use dt_simengine::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Kind of a timeline operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
     /// Forward pass.
     Forward,
@@ -13,7 +12,7 @@ pub enum OpKind {
 }
 
 /// One executed operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpRecord {
     /// Pipeline stage index.
     pub stage: usize,
@@ -28,7 +27,7 @@ pub struct OpRecord {
 }
 
 /// The executed pipeline of one iteration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineResult {
     /// Number of stages.
     pub stages: usize,

@@ -1,9 +1,8 @@
 //! Pipeline schedule definitions and per-stage operation orders.
 
-use serde::{Deserialize, Serialize};
 
 /// Which pipeline schedule the stages execute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Schedule {
     /// GPipe: run every forward, flush, then every backward (reverse
     /// microbatch order per stage).

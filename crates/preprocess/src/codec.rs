@@ -12,7 +12,6 @@
 //! second on one worker — the regime Figure 17 measures.
 
 use dt_data::TrainSample;
-use serde::{Deserialize, Serialize};
 
 /// Raw-capture resolution multiplier: images arrive from storage larger
 /// than the training resolution and are resized down (emulating the decode
@@ -22,7 +21,7 @@ pub const RAW_SCALE_NUM: u32 = 5;
 pub const RAW_SCALE_DEN: u32 = 4;
 
 /// A "compressed" synthetic image.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompressedImage {
     /// Raw (on-disk) square edge, pixels.
     pub raw_res: u32,
@@ -130,7 +129,7 @@ pub fn patchify(rgb: &[u8], res: u32, patch: u32) -> Vec<u8> {
 
 /// The output of preprocessing one sample: patchified token bytes per
 /// image, ready for the encoder.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PreprocessedSample {
     /// The sample's id.
     pub sample_id: u64,

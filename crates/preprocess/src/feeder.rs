@@ -12,9 +12,10 @@ use crate::codec::preprocess_sample;
 use crate::reorder_planner::ReorderPlanner;
 use crate::service::preprocess_parallel;
 use crate::wire::{read_frame, read_json, write_json, BatchHeader, Request};
-use crossbeam::channel::{bounded, Receiver};
 use dt_data::{DataConfig, GlobalBatch, SyntheticLaion};
+use dt_simengine::trace::{cat, WallTraceSink};
 use std::io;
+use std::sync::mpsc::{sync_channel, Receiver};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -77,21 +78,46 @@ impl ColocatedFeeder {
     }
 }
 
+/// Chrome-trace process id for the consumer's wall-clock spans (prefetch
+/// round trips and trainer-visible stalls); adjacent to
+/// [`crate::service::PREPROCESS_PID`].
+pub const CONSUMER_PID: u64 = 1_001;
+
 /// DistTrain's consumer: prefetching client of the TCP producer.
 pub struct DisaggregatedFeeder {
     rx: Receiver<io::Result<PreprocessedBatch>>,
+    trace: Option<WallTraceSink>,
 }
 
 impl DisaggregatedFeeder {
     /// Connect to a producer and start prefetching `batch_size`-sample
     /// global batches, keeping up to `prefetch_depth` ready in the queue.
     pub fn connect(addr: SocketAddr, batch_size: u32, prefetch_depth: usize) -> io::Result<Self> {
+        Self::connect_traced(addr, batch_size, prefetch_depth, None)
+    }
+
+    /// [`DisaggregatedFeeder::connect`] with wall-clock span emission: the
+    /// prefetch thread records each producer round trip as a
+    /// `preprocess.fetch` span (tid 0) and [`Self::next_batch`] records the
+    /// trainer-visible queue wait as a `stall` span (tid 1), both on process
+    /// [`CONSUMER_PID`].
+    pub fn connect_traced(
+        addr: SocketAddr,
+        batch_size: u32,
+        prefetch_depth: usize,
+        trace: Option<WallTraceSink>,
+    ) -> io::Result<Self> {
         let mut stream = TcpStream::connect(addr)?;
-        let (tx, rx) = bounded(prefetch_depth.max(1));
+        let (tx, rx) = sync_channel(prefetch_depth.max(1));
+        let prefetch_sink = trace.clone();
         std::thread::Builder::new()
             .name("dt-preprocess-prefetch".into())
             .spawn(move || loop {
+                let started = Instant::now();
                 let result = fetch_one(&mut stream, batch_size);
+                if let Some(sink) = &prefetch_sink {
+                    sink.record(format!("prefetch x{batch_size}"), cat::PRE_FETCH, CONSUMER_PID, 0, started);
+                }
                 let failed = result.is_err();
                 if tx.send(result).is_err() {
                     // Consumer dropped: politely close the session.
@@ -102,7 +128,7 @@ impl DisaggregatedFeeder {
                     return;
                 }
             })?;
-        Ok(DisaggregatedFeeder { rx })
+        Ok(DisaggregatedFeeder { rx, trace })
     }
 
     /// Take the next ready batch, blocking only if the prefetch queue is
@@ -113,6 +139,9 @@ impl DisaggregatedFeeder {
             .rx
             .recv()
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "prefetch thread terminated"))??;
+        if let Some(sink) = &self.trace {
+            sink.record("queue wait", cat::STALL, CONSUMER_PID, 1, started);
+        }
         Ok((batch, FeederReport { stall: started.elapsed() }))
     }
 }
@@ -188,6 +217,22 @@ mod tests {
             "warm stall {warm:?} should be tiny vs cold {first:?}"
         );
         assert!(warm.stall < Duration::from_millis(10), "warm stall {:?}", warm.stall);
+    }
+
+    #[test]
+    fn traced_feeder_records_prefetch_and_stall_spans() {
+        let sink = WallTraceSink::new();
+        let producer =
+            ProducerHandle::spawn(ProducerConfig::new(tiny_data(), 19).with_trace(sink.clone()))
+                .unwrap();
+        let feeder =
+            DisaggregatedFeeder::connect_traced(producer.addr, 3, 2, Some(sink.clone())).unwrap();
+        let _ = feeder.next_batch().unwrap();
+        let spans = sink.snapshot();
+        assert!(spans.iter().any(|s| s.pid == CONSUMER_PID && s.cat == cat::PRE_FETCH));
+        assert!(spans.iter().any(|s| s.pid == CONSUMER_PID && s.cat == cat::STALL));
+        // Producer-side spans land in the same sink on their own process.
+        assert!(spans.iter().any(|s| s.pid == crate::service::PREPROCESS_PID));
     }
 
     #[test]

@@ -20,9 +20,18 @@
 //! The colocated baseline ([`feeder::ColocatedFeeder`]) performs the same
 //! codec work synchronously on the "GPU node" thread, which is exactly how
 //! the monolithic Megatron-LM path interleaves preprocessing with training
-//! (§2.1). Reordering (Algorithms 1–2) runs on the producer where it is
-//! free (§5.1: "the complex reordering does not interfere with the GPU
-//! training or impose extra overhead").
+//! (§2.1). Reordering (Algorithms 1–2, from `dt-reorder`) runs on the
+//! producer where it is free (§5.1: "the complex reordering does not
+//! interfere with the GPU training or impose extra overhead").
+//!
+//! Both halves are observable: attach a
+//! [`WallTraceSink`](dt_simengine::trace::WallTraceSink) via
+//! [`ProducerConfig::with_trace`] and
+//! [`DisaggregatedFeeder::connect_traced`] to record wall-clock
+//! fetch/decode/feed spans on the producer (pid [`PREPROCESS_PID`], one
+//! track per client session) and prefetch/queue-wait spans on the consumer
+//! (pid [`CONSUMER_PID`]), mergeable into the simulated cluster's
+//! Chrome-trace export.
 
 pub mod codec;
 pub mod feeder;
@@ -31,6 +40,6 @@ pub mod service;
 pub mod wire;
 
 pub use codec::{decompress, patchify, preprocess_sample, resize, synth_compressed, PreprocessedSample};
-pub use feeder::{ColocatedFeeder, DisaggregatedFeeder, FeederReport};
+pub use feeder::{ColocatedFeeder, DisaggregatedFeeder, FeederReport, CONSUMER_PID};
 pub use reorder_planner::{ReorderMode, ReorderPlanner};
-pub use service::{ProducerConfig, ProducerHandle};
+pub use service::{ProducerConfig, ProducerHandle, PREPROCESS_PID};

@@ -7,10 +7,9 @@ use dt_data::cost::multimodal_size;
 use dt_data::TrainSample;
 use dt_model::MultimodalLlm;
 use dt_reorder::{inter_reorder, intra_reorder, InterReorderConfig};
-use serde::{Deserialize, Serialize};
 
 /// Which reordering passes to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReorderMode {
     /// Megatron-LM's behavior: random order as generated.
     None,
@@ -21,7 +20,7 @@ pub enum ReorderMode {
 }
 
 /// Sizes samples and permutes a global batch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReorderPlanner {
     /// The model whose cost function sizes the samples.
     pub model: MultimodalLlm,

@@ -6,6 +6,7 @@ use crate::codec::preprocess_sample;
 use crate::reorder_planner::ReorderPlanner;
 use crate::wire::{read_json, write_frame, write_json, BatchHeader, Request};
 use dt_data::{DataConfig, SyntheticLaion, TrainSample};
+use dt_simengine::trace::{cat, WallTraceSink};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,12 +28,27 @@ pub struct ProducerConfig {
     /// Test-only fault injection: extra delay before each batch (simulates
     /// an overloaded/slow CPU node).
     pub fault_delay: Option<Duration>,
+    /// Optional wall-clock trace sink: every served batch records
+    /// `preprocess.fetch` / `preprocess.decode` / `preprocess.feed` spans
+    /// (on process [`PREPROCESS_PID`], one thread per client session).
+    pub trace: Option<WallTraceSink>,
 }
+
+/// Chrome-trace process id for the producer service's wall-clock spans,
+/// chosen far above any simulated DP-rank pid so both trace sources can be
+/// merged into one file without track collisions.
+pub const PREPROCESS_PID: u64 = 1_000;
 
 impl ProducerConfig {
     /// A producer with defaults for the given data distribution.
     pub fn new(data: DataConfig, seed: u64) -> Self {
-        ProducerConfig { data, seed, workers: 4, planner: None, fault_delay: None }
+        ProducerConfig { data, seed, workers: 4, planner: None, fault_delay: None, trace: None }
+    }
+
+    /// Attach a wall-clock trace sink.
+    pub fn with_trace(mut self, sink: WallTraceSink) -> Self {
+        self.trace = Some(sink);
+        self
     }
 }
 
@@ -50,16 +66,15 @@ pub fn preprocess_parallel(samples: &[TrainSample], workers: u32) -> Vec<Vec<u8>
     let workers = (workers.max(1) as usize).min(samples.len().max(1));
     let mut out: Vec<Vec<u8>> = vec![Vec::new(); samples.len()];
     let chunk = samples.len().div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (samples_chunk, out_chunk) in samples.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (s, o) in samples_chunk.iter().zip(out_chunk.iter_mut()) {
                     *o = preprocess_sample(s).token_bytes;
                 }
             });
         }
-    })
-    .expect("preprocessing worker panicked");
+    });
     out
 }
 
@@ -68,6 +83,7 @@ fn serve_client(
     gen: &mut SyntheticLaion,
     stream: &mut TcpStream,
     stop: &AtomicBool,
+    session: u64,
 ) -> io::Result<()> {
     // Poll the stop flag between requests so shutdown terminates active
     // sessions within one timeout window. The wait uses `peek` (which does
@@ -101,16 +117,45 @@ fn serve_client(
                 if let Some(planner) = &cfg.planner {
                     samples = planner.reorder(samples);
                 }
+                if let Some(sink) = &cfg.trace {
+                    sink.record(
+                        format!("fetch x{count}"),
+                        cat::PRE_FETCH,
+                        PREPROCESS_PID,
+                        session,
+                        started,
+                    );
+                }
+                let decode_started = Instant::now();
                 let tokens = preprocess_parallel(&samples, cfg.workers);
+                if let Some(sink) = &cfg.trace {
+                    sink.record(
+                        format!("decode x{count}"),
+                        cat::PRE_DECODE,
+                        PREPROCESS_PID,
+                        session,
+                        decode_started,
+                    );
+                }
                 let token_lens: Vec<u64> = tokens.iter().map(|t| t.len() as u64).collect();
                 let header = BatchHeader {
                     samples,
                     token_lens,
                     producer_cpu_ns: started.elapsed().as_nanos() as u64,
                 };
+                let feed_started = Instant::now();
                 write_json(stream, &header)?;
                 let payload: Vec<u8> = tokens.concat();
                 write_frame(stream, &payload)?;
+                if let Some(sink) = &cfg.trace {
+                    sink.record(
+                        format!("feed x{count}"),
+                        cat::PRE_FEED,
+                        PREPROCESS_PID,
+                        session,
+                        feed_started,
+                    );
+                }
             }
         }
     }
@@ -128,6 +173,7 @@ impl ProducerHandle {
             .name("dt-preprocess-producer".into())
             .spawn(move || {
                 let mut next_seed = cfg.seed;
+                let mut session = 0u64;
                 for conn in listener.incoming() {
                     if stop2.load(Ordering::SeqCst) {
                         break;
@@ -142,11 +188,13 @@ impl ProducerHandle {
                             let stop = stop2.clone();
                             let seed = next_seed;
                             next_seed = next_seed.wrapping_add(0x9E37_79B9);
+                            let sid = session;
+                            session += 1;
                             let _ = std::thread::Builder::new()
                                 .name("dt-preprocess-session".into())
                                 .spawn(move || {
                                     let mut gen = SyntheticLaion::new(cfg.data.clone(), seed);
-                                    let _ = serve_client(&cfg, &mut gen, &mut stream, &stop);
+                                    let _ = serve_client(&cfg, &mut gen, &mut stream, &stop, sid);
                                 });
                         }
                         Err(_) => break,
@@ -212,6 +260,26 @@ mod tests {
         let par = preprocess_parallel(&samples, 4);
         for (s, bytes) in samples.iter().zip(&par) {
             assert_eq!(bytes, &preprocess_sample(s).token_bytes);
+        }
+    }
+
+    #[test]
+    fn producer_records_fetch_decode_feed_spans() {
+        let sink = WallTraceSink::new();
+        let cfg = ProducerConfig::new(tiny_data(), 21).with_trace(sink.clone());
+        let handle = ProducerHandle::spawn(cfg).unwrap();
+        let mut stream = TcpStream::connect(handle.addr).unwrap();
+        write_json(&mut stream, &Request::FetchBatch { count: 3 }).unwrap();
+        let _: BatchHeader = read_json(&mut stream).unwrap();
+        let _ = read_frame(&mut stream).unwrap();
+        write_json(&mut stream, &Request::Shutdown).unwrap();
+        drop(handle);
+        let spans = sink.snapshot();
+        for category in [cat::PRE_FETCH, cat::PRE_DECODE, cat::PRE_FEED] {
+            assert!(
+                spans.iter().any(|s| s.cat == category && s.pid == PREPROCESS_PID),
+                "missing {category} span; got {spans:?}"
+            );
         }
     }
 

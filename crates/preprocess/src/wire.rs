@@ -12,16 +12,15 @@
 //! response: [len][json BatchHeader] [len][raw token bytes]
 //! ```
 
-use bytes::{Buf, BufMut, BytesMut};
 use dt_data::TrainSample;
-use serde::{Deserialize, Serialize};
+use dt_simengine::json::Json;
 use std::io::{self, Read, Write};
 
 /// Frames larger than this are rejected as protocol corruption.
 pub const MAX_FRAME: u32 = 1 << 30;
 
 /// Consumer → producer control messages.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Produce and send the next global batch of `count` samples.
     FetchBatch {
@@ -33,7 +32,7 @@ pub enum Request {
 }
 
 /// Metadata frame preceding the bulk token bytes of one global batch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchHeader {
     /// The (already reordered) samples, in dispatch order.
     pub samples: Vec<TrainSample>,
@@ -45,6 +44,99 @@ pub struct BatchHeader {
     pub producer_cpu_ns: u64,
 }
 
+/// Control messages that can travel as JSON frames.
+pub trait WireJson: Sized {
+    /// Encode into a JSON value.
+    fn to_json(&self) -> Json;
+    /// Decode from a JSON value.
+    fn from_json(value: &Json) -> Result<Self, String>;
+}
+
+impl WireJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::FetchBatch { count } => Json::obj(vec![(
+                "FetchBatch",
+                Json::obj(vec![("count", Json::num_u64(u64::from(*count)))]),
+            )]),
+            Request::Shutdown => Json::Str("Shutdown".into()),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        if value.as_str() == Some("Shutdown") {
+            return Ok(Request::Shutdown);
+        }
+        let count = value
+            .get("FetchBatch")
+            .and_then(|f| f.get("count"))
+            .and_then(Json::as_u32)
+            .ok_or("malformed Request")?;
+        Ok(Request::FetchBatch { count })
+    }
+}
+
+fn sample_to_json(s: &TrainSample) -> Json {
+    Json::obj(vec![
+        ("id", Json::num_u64(s.id)),
+        ("text_subseqs", Json::arr_u64(s.text_subseqs.iter().copied())),
+        (
+            "image_resolutions",
+            Json::arr_u64(s.image_resolutions.iter().map(|&r| u64::from(r))),
+        ),
+        ("gen_targets", Json::arr_u64(s.gen_targets.iter().map(|&r| u64::from(r)))),
+        ("gen_resolution", Json::num_u64(u64::from(s.gen_resolution))),
+        ("raw_image_bytes", Json::num_u64(s.raw_image_bytes)),
+        ("patch", Json::num_u64(u64::from(s.patch))),
+    ])
+}
+
+fn sample_from_json(value: &Json) -> Result<TrainSample, String> {
+    let field = |k: &str| value.get(k).ok_or_else(|| format!("sample missing {k}"));
+    Ok(TrainSample {
+        id: field("id")?.as_u64().ok_or("bad id")?,
+        text_subseqs: field("text_subseqs")?.to_u64_vec().ok_or("bad text_subseqs")?,
+        image_resolutions: field("image_resolutions")?
+            .to_u32_vec()
+            .ok_or("bad image_resolutions")?,
+        gen_targets: field("gen_targets")?.to_u32_vec().ok_or("bad gen_targets")?,
+        gen_resolution: field("gen_resolution")?.as_u32().ok_or("bad gen_resolution")?,
+        raw_image_bytes: field("raw_image_bytes")?.as_u64().ok_or("bad raw_image_bytes")?,
+        patch: field("patch")?.as_u32().ok_or("bad patch")?,
+    })
+}
+
+impl WireJson for BatchHeader {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("samples", Json::Arr(self.samples.iter().map(sample_to_json).collect())),
+            ("token_lens", Json::arr_u64(self.token_lens.iter().copied())),
+            ("producer_cpu_ns", Json::num_u64(self.producer_cpu_ns)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        let samples = value
+            .get("samples")
+            .and_then(Json::as_array)
+            .ok_or("header missing samples")?
+            .iter()
+            .map(sample_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchHeader {
+            samples,
+            token_lens: value
+                .get("token_lens")
+                .and_then(Json::to_u64_vec)
+                .ok_or("header missing token_lens")?,
+            producer_cpu_ns: value
+                .get("producer_cpu_ns")
+                .and_then(Json::as_u64)
+                .ok_or("header missing producer_cpu_ns")?,
+        })
+    }
+}
+
 /// Write one frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
@@ -52,9 +144,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     if len > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
     }
-    let mut head = BytesMut::with_capacity(4);
-    head.put_u32_le(len);
-    w.write_all(&head)?;
+    w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
@@ -63,7 +153,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     let mut head = [0u8; 4];
     r.read_exact(&mut head)?;
-    let len = (&head[..]).get_u32_le();
+    let len = u32::from_le_bytes(head);
     if len > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
     }
@@ -73,15 +163,18 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
 }
 
 /// Write a JSON control message as one frame.
-pub fn write_json<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
-    let payload = serde_json::to_vec(msg).map_err(io::Error::other)?;
-    write_frame(w, &payload)
+pub fn write_json<T: WireJson>(w: &mut impl Write, msg: &T) -> io::Result<()> {
+    write_frame(w, msg.to_json().to_string().as_bytes())
 }
 
 /// Read a JSON control message from one frame.
-pub fn read_json<T: for<'de> Deserialize<'de>>(r: &mut impl Read) -> io::Result<T> {
+pub fn read_json<T: WireJson>(r: &mut impl Read) -> io::Result<T> {
     let payload = read_frame(r)?;
-    serde_json::from_slice(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let value =
+        Json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    T::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -112,6 +205,28 @@ mod tests {
     }
 
     #[test]
+    fn batch_header_round_trips() {
+        let sample = TrainSample {
+            id: 99,
+            text_subseqs: vec![3, 1, 4],
+            image_resolutions: vec![224, 512],
+            gen_targets: vec![64],
+            gen_resolution: 1024,
+            raw_image_bytes: 123_456,
+            patch: 14,
+        };
+        let header = BatchHeader {
+            samples: vec![sample],
+            token_lens: vec![17],
+            producer_cpu_ns: 5_000,
+        };
+        let mut buf = Vec::new();
+        write_json(&mut buf, &header).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_json::<BatchHeader>(&mut cur).unwrap(), header);
+    }
+
+    #[test]
     fn truncated_frame_errors_cleanly() {
         let mut buf = Vec::new();
         write_frame(&mut buf, b"hello").unwrap();
@@ -122,10 +237,10 @@ mod tests {
 
     #[test]
     fn oversized_length_is_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(MAX_FRAME + 1);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
         buf.extend_from_slice(&[0u8; 16]);
-        let mut cur = Cursor::new(buf.to_vec());
+        let mut cur = Cursor::new(buf);
         let err = read_frame(&mut cur).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }

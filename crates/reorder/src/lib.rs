@@ -7,7 +7,7 @@
 //! * [`intra::intra_reorder`] — **Algorithm 1**: balance total sample size
 //!   across the DP groups of one global batch (greedy LPT multiway
 //!   partitioning; the max-loaded group bounds the iteration, and LPT is a
-//!   `4/3`-approximation of the NP-hard optimum [38, 15]).
+//!   `4/3`-approximation of the NP-hard optimum \[38, 15\]).
 //! * [`inter::inter_reorder`] — **Algorithm 2**: permute the microbatches of
 //!   one DP rank so the 1F1B pipeline's stage-0 *intervals* (Figure 12) are
 //!   filled as tightly as possible: smallest microbatch first to activate
@@ -20,6 +20,12 @@
 //! therefore preserve synchronous-training convergence semantics exactly
 //! (§5.2, §5.3). The property tests pin that invariant: reordering is always
 //! a permutation.
+//!
+//! In the full system these passes run inside `dt-preprocess`'s
+//! `ReorderPlanner` on the producer node; the microbatch times they act on
+//! come from `dt-pipeline`'s 1F1B interval structure (Figure 12), and their
+//! end-to-end effect shows up as reduced `bubble` span time in the trace
+//! export (see the README's *Observability* section).
 
 pub mod inter;
 pub mod intra;

@@ -1,0 +1,497 @@
+//! A minimal, dependency-free JSON value type with a parser and writer.
+//!
+//! The workspace is built to compile in hermetic environments with no
+//! crates.io access, so everything that needs JSON — the Chrome-trace
+//! exporter in [`crate::trace`], the preprocessing wire protocol in
+//! `dt-preprocess`, and the checkpoint files in `disttrain-core` — goes
+//! through this module instead of `serde_json`. The surface is deliberately
+//! tiny: one [`Json`] enum, [`Json::parse`], and `Json::to_string` (via `Display`) /
+//! [`Json::write`].
+//!
+//! Numbers are stored as `f64`. Every integer the workspace serializes
+//! (sample ids, token counts, nanosecond timestamps) fits in the 2^53
+//! exactly-representable range, and [`Json::as_u64`] checks the round trip.
+//!
+//! ```
+//! use dt_simengine::json::Json;
+//!
+//! let v = Json::parse(r#"{"id": 7, "tags": ["a", "b"], "ok": true}"#).unwrap();
+//! assert_eq!(v.get("id").and_then(Json::as_u64), Some(7));
+//! assert_eq!(v.get("tags").unwrap().as_array().unwrap().len(), 2);
+//! let text = v.to_string();
+//! assert_eq!(Json::parse(&text).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error produced by [`Json::parse`], carrying the byte offset of the
+/// problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset in the input where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse a complete JSON document; trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a number exactly representing one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `u32`, if it is a number exactly representing one.
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|n| u32::try_from(n).ok())
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize into `out` (compact, no extra whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_num(*n, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Build an object from key/value pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A number from a `u64` (exact for values below 2^53).
+    pub fn num_u64(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// An array of `u64`s.
+    pub fn arr_u64(items: impl IntoIterator<Item = u64>) -> Json {
+        Json::Arr(items.into_iter().map(Json::num_u64).collect())
+    }
+
+    /// Decode a `Vec<u64>` from an array value.
+    pub fn to_u64_vec(&self) -> Option<Vec<u64>> {
+        self.as_array()?.iter().map(Json::as_u64).collect()
+    }
+
+    /// Decode a `Vec<u32>` from an array value.
+    pub fn to_u32_vec(&self) -> Option<Vec<u32>> {
+        self.as_array()?.iter().map(Json::as_u32).collect()
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; the writer clamps to null like serde_json.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        // Integers print without a decimal point so they re-parse exactly.
+        let _ = fmt::write(out, format_args!("{}", n as i64));
+    } else {
+        let _ = fmt::write(out, format_args!("{n}"));
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::write(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError { msg: msg.to_string(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.eat_word("null").map(|()| Json::Null),
+            Some(b't') => self.eat_word("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat_word("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue; // unicode_escape advanced the cursor
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a valid &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        // Cursor sits on the 'u'.
+        self.pos += 1;
+        let hex4 = |p: &mut Self| -> Result<u32, JsonError> {
+            if p.pos + 4 > p.bytes.len() {
+                return Err(p.err("truncated \\u escape"));
+            }
+            let s = std::str::from_utf8(&p.bytes[p.pos..p.pos + 4])
+                .map_err(|_| p.err("invalid \\u escape"))?;
+            let v = u32::from_str_radix(s, 16).map_err(|_| p.err("invalid \\u escape"))?;
+            p.pos += 4;
+            Ok(v)
+        };
+        let hi = hex4(self)?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // Surrogate pair.
+            self.eat_word("\\u")?;
+            let lo = hex4(self)?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-7", "3.25", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":"x","d":-1.5}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().to_u64_vec().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Json::Str("quote\" slash\\ newline\n tab\t unicode ☃".to_string());
+        let parsed = Json::parse(&original.to_string()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(Json::parse(r#""☃""#).unwrap(), Json::Str("☃".into()));
+        // Surrogate pair: 😀
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn large_integers_survive() {
+        let n: u64 = 9_007_199_254_740_992; // 2^53
+        let v = Json::parse(&Json::num_u64(n - 1).to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(n - 1));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_offsets() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nope").is_err());
+        assert!(Json::parse("{\"a\":1} extra").is_err());
+        let err = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn object_get_finds_fields() {
+        let v = Json::obj(vec![("x", Json::num_u64(1)), ("y", Json::Bool(true))]);
+        assert_eq!(v.get("x").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("y").and_then(Json::as_bool), Some(true));
+        assert!(v.get("z").is_none());
+    }
+}

@@ -1,8 +1,8 @@
-//! # dt-simengine — discrete-event simulation substrate
+//! # dt-simengine — discrete-event simulation substrate and observability core
 //!
-//! The DistTrain reproduction replaces the paper's physical GPU cluster with
-//! an analytically-timed simulation (see `DESIGN.md` §1). This crate is the
-//! substrate every simulated component builds on:
+//! The DistTrain reproduction (SIGCOMM'25) replaces the paper's physical GPU
+//! cluster with an analytically-timed simulation (see `DESIGN.md` §1). This
+//! crate is the substrate every simulated component builds on:
 //!
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time with
 //!   saturating arithmetic, so cost models can never panic on overflow.
@@ -10,18 +10,32 @@
 //!   style the smoltcp guide recommends: simple, deterministic, no clever type
 //!   tricks. Events scheduled for the same instant fire in FIFO order, which
 //!   makes every simulation run bit-reproducible.
-//! * [`rng`] — a self-contained xoshiro256★★ PRNG. We deliberately do *not*
-//!   rely on `rand::StdRng` for load-bearing randomness because its algorithm
-//!   is not stable across `rand` versions; experiment outputs must stay
-//!   reproducible across toolchain upgrades.
+//! * [`rng`] — a self-contained xoshiro256★★ PRNG ([`DetRng`]). We
+//!   deliberately do *not* rely on an external `rand` crate for load-bearing
+//!   randomness because its algorithm is not stable across versions;
+//!   experiment outputs must stay reproducible across toolchain upgrades.
 //! * [`stats`] — summary statistics (mean/percentile/CDF/histogram) used by
 //!   the data-characterization and benchmark harnesses.
+//! * [`trace`] — the structured observability layer: a
+//!   [`trace::TraceRecorder`] collects labelled spans from the pipeline
+//!   simulator, the training runtime, and the preprocessing service, and
+//!   exports Chrome-trace / Perfetto JSON. Zero-cost when disabled.
+//! * [`json`] — the dependency-free JSON value type ([`json::Json`]) behind
+//!   the trace exporter, the wire protocol, and checkpoints.
+//!
+//! Higher layers map paper sections onto this substrate: `dt-pipeline` and
+//! `dt-orchestrator` implement §4 (disaggregated model orchestration),
+//! `dt-reorder` implements §5 (disaggregated data reordering), and
+//! `dt-stepccl` implements §6 (StepCCL communication/computation overlap).
 
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventQueue, Simulator};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceRecorder, TraceSpan};

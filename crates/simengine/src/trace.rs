@@ -1,0 +1,543 @@
+//! Structured tracing of simulated (and real) cluster activity.
+//!
+//! Every headline result in the paper (§7) is a time measurement; this
+//! module is how the reproduction shows *where* an iteration's time went
+//! instead of only reporting end-of-run aggregates. A [`TraceRecorder`]
+//! collects [`TraceSpan`]s — labelled `(rank, track, category)` intervals
+//! on the simulated clock — and exports them as Chrome-trace / Perfetto
+//! JSON ([`TraceRecorder::to_chrome_json`]) that loads directly in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! Span categories are the [`cat`] constants: pipeline compute
+//! (`compute.fwd` / `compute.bwd`), point-to-point hops (`comm`), pipeline
+//! idle (`bubble`), gradient synchronization (`gradsync`), preprocessing
+//! stalls (`stall`), checkpoint writes (`checkpoint`), and the
+//! preprocessing service's wall-clock phases (`preprocess.*`). Emission
+//! sites thread a `&mut TraceRecorder` through the hot path:
+//!
+//! * `dt-pipeline` derives per-stage compute/comm/bubble spans from an
+//!   executed 1F1B timeline;
+//! * `disttrain-core`'s runtime adds per-rank grad-sync and stall spans
+//!   (and checkpoint spans in the fault driver);
+//! * `dt-preprocess` records fetch/decode/feed spans from its real
+//!   threads through a [`WallTraceSink`].
+//!
+//! A disabled recorder ([`TraceRecorder::disabled`]) is free: it holds no
+//! buffer, [`TraceRecorder::record_with`] never invokes its closure, and
+//! nothing allocates (asserted by a counting-allocator test).
+//!
+//! ```
+//! use dt_simengine::trace::{cat, TraceRecorder, TraceSpan};
+//! use dt_simengine::{SimDuration, SimTime};
+//!
+//! let mut rec = TraceRecorder::enabled();
+//! rec.record(TraceSpan::new("F0", cat::COMPUTE_FWD, 0, 0,
+//!     SimTime::ZERO, SimDuration::from_millis(5)));
+//! assert_eq!(rec.spans().len(), 1);
+//! let json = rec.to_chrome_json();
+//! assert!(json.contains("traceEvents"));
+//! ```
+
+use crate::json::Json;
+use crate::time::{SimDuration, SimTime};
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Span categories. Chrome-trace `cat` fields; also the keys the breakdown
+/// tables aggregate by.
+pub mod cat {
+    /// Forward-pass compute on a pipeline stage.
+    pub const COMPUTE_FWD: &str = "compute.fwd";
+    /// Backward-pass compute on a pipeline stage.
+    pub const COMPUTE_BWD: &str = "compute.bwd";
+    /// Point-to-point activation/gradient hop between stages.
+    pub const COMM: &str = "comm";
+    /// Pipeline idle time (warm-up, drain, or straggler bubbles).
+    pub const BUBBLE: &str = "bubble";
+    /// Data-parallel gradient synchronization.
+    pub const GRAD_SYNC: &str = "gradsync";
+    /// Preprocessing stall charged to the training step.
+    pub const STALL: &str = "stall";
+    /// Checkpoint write.
+    pub const CHECKPOINT: &str = "checkpoint";
+    /// Whole-iteration marker span.
+    pub const ITERATION: &str = "iteration";
+    /// Preprocessing service: batch generation / network fetch.
+    pub const PRE_FETCH: &str = "preprocess.fetch";
+    /// Preprocessing service: decode / tokenize work.
+    pub const PRE_DECODE: &str = "preprocess.decode";
+    /// Preprocessing service: hand-off to the trainer (queue/feed).
+    pub const PRE_FEED: &str = "preprocess.feed";
+}
+
+/// One labelled interval on the trace clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Display name (e.g. `F3`, `grad-sync`, `decode`).
+    pub name: String,
+    /// Category, one of the [`cat`] constants.
+    pub cat: &'static str,
+    /// Process id in the Chrome trace — the DP rank (or a service id).
+    pub pid: u64,
+    /// Thread id in the Chrome trace — the pipeline stage or service
+    /// thread within the rank.
+    pub tid: u64,
+    /// Start instant.
+    pub start: SimTime,
+    /// Span length.
+    pub dur: SimDuration,
+    /// Extra key/value annotations (exported under Chrome-trace `args`).
+    pub args: Vec<(&'static str, String)>,
+}
+
+impl TraceSpan {
+    /// Construct a span with no extra args.
+    pub fn new(
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u64,
+        tid: u64,
+        start: SimTime,
+        dur: SimDuration,
+    ) -> Self {
+        TraceSpan { name: name.into(), cat, pid, tid, start, dur, args: Vec::new() }
+    }
+
+    /// Attach an annotation (builder style).
+    pub fn with_arg(mut self, key: &'static str, value: impl Into<String>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+
+    /// End instant.
+    pub fn end(&self) -> SimTime {
+        self.start + self.dur
+    }
+}
+
+/// Collects spans, or does nothing at zero cost when disabled.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    spans: Option<Vec<TraceSpan>>,
+    origin: SimTime,
+}
+
+impl TraceRecorder {
+    /// A recorder that drops everything. This is the default, and it is
+    /// free: no buffer exists and [`record_with`](Self::record_with) never
+    /// runs its closure.
+    pub fn disabled() -> Self {
+        TraceRecorder { spans: None, origin: SimTime::ZERO }
+    }
+
+    /// A recorder that keeps spans for export.
+    pub fn enabled() -> Self {
+        TraceRecorder { spans: Some(Vec::new()), origin: SimTime::ZERO }
+    }
+
+    /// `true` when spans are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Shift subsequently recorded spans by `origin` on the trace clock.
+    /// Multi-iteration drivers advance this so iterations appear
+    /// back-to-back in one trace.
+    pub fn set_origin(&mut self, origin: SimTime) {
+        self.origin = origin;
+    }
+
+    /// The current trace-clock offset.
+    pub fn origin(&self) -> SimTime {
+        self.origin
+    }
+
+    /// Record one span (shifted by the current origin). No-op when
+    /// disabled — but prefer [`record_with`](Self::record_with) in hot
+    /// paths so span construction is skipped too.
+    pub fn record(&mut self, span: TraceSpan) {
+        let origin = self.origin;
+        if let Some(spans) = &mut self.spans {
+            let mut span = span;
+            span.start = span.start + origin.since(SimTime::ZERO);
+            spans.push(span);
+        }
+    }
+
+    /// Record the span produced by `f`, invoking `f` only when enabled.
+    /// This is the zero-cost path: a disabled recorder performs one branch
+    /// and no allocation.
+    pub fn record_with(&mut self, f: impl FnOnce() -> TraceSpan) {
+        if self.spans.is_some() {
+            let span = f();
+            self.record(span);
+        }
+    }
+
+    /// All recorded spans (empty when disabled).
+    pub fn spans(&self) -> &[TraceSpan] {
+        self.spans.as_deref().unwrap_or(&[])
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans().len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans().is_empty()
+    }
+
+    /// Merge another recorder's spans into this one (used to fold the
+    /// preprocessing service's wall-clock spans into a simulation trace).
+    pub fn absorb(&mut self, other: TraceRecorder) {
+        if let (Some(mine), Some(theirs)) = (&mut self.spans, other.spans) {
+            mine.extend(theirs);
+        }
+    }
+
+    /// Total span time on one `(pid, tid)` track, optionally filtered by
+    /// category.
+    pub fn track_total(&self, pid: u64, tid: u64, category: Option<&str>) -> SimDuration {
+        self.spans()
+            .iter()
+            .filter(|s| s.pid == pid && s.tid == tid)
+            .filter(|s| category.is_none_or(|c| s.cat == c))
+            .map(|s| s.dur)
+            .sum()
+    }
+
+    /// Total span time of one category across the whole trace.
+    pub fn category_total(&self, category: &str) -> SimDuration {
+        self.spans().iter().filter(|s| s.cat == category).map(|s| s.dur).sum()
+    }
+
+    /// Sorted list of `(pid, tid)` tracks present in the trace.
+    pub fn tracks(&self) -> Vec<(u64, u64)> {
+        let mut tracks: Vec<(u64, u64)> = self.spans().iter().map(|s| (s.pid, s.tid)).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        tracks
+    }
+
+    /// Validate that every `(pid, tid)` track is well-formed: spans sorted
+    /// by start are either disjoint or properly nested (no partial
+    /// overlap), which is what Chrome's flame view requires.
+    pub fn validate_nesting(&self) -> Result<(), String> {
+        for (pid, tid) in self.tracks() {
+            let mut track: Vec<&TraceSpan> =
+                self.spans().iter().filter(|s| s.pid == pid && s.tid == tid).collect();
+            track.sort_by_key(|s| (s.start, std::cmp::Reverse(s.end())));
+            let mut open: Vec<&TraceSpan> = Vec::new();
+            for span in track {
+                while let Some(top) = open.last() {
+                    if top.end() <= span.start {
+                        open.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(top) = open.last() {
+                    if span.end() > top.end() {
+                        return Err(format!(
+                            "track ({pid},{tid}): span '{}' [{}, {}) partially overlaps '{}' [{}, {})",
+                            span.name,
+                            span.start.as_nanos(),
+                            span.end().as_nanos(),
+                            top.name,
+                            top.start.as_nanos(),
+                            top.end().as_nanos(),
+                        ));
+                    }
+                }
+                open.push(span);
+            }
+        }
+        Ok(())
+    }
+
+    /// Export as Chrome-trace JSON (the `chrome://tracing` / Perfetto
+    /// "JSON Array with metadata" flavour). Timestamps are microseconds as
+    /// the format requires; exact nanosecond values ride along in
+    /// `args.start_ns` / `args.dur_ns` so tooling can recover them.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<Json> = Vec::with_capacity(self.len() + 8);
+        // Name the tracks so Perfetto shows "rank N" / "stage S".
+        for (pid, tid) in self.tracks() {
+            events.push(Json::obj(vec![
+                ("name", Json::Str("process_name".into())),
+                ("ph", Json::Str("M".into())),
+                ("pid", Json::num_u64(pid)),
+                ("tid", Json::num_u64(tid)),
+                (
+                    "args",
+                    Json::obj(vec![("name", Json::Str(format!("rank {pid}")))]),
+                ),
+            ]));
+        }
+        for span in self.spans() {
+            let mut args = vec![
+                ("start_ns", Json::num_u64(span.start.as_nanos())),
+                ("dur_ns", Json::num_u64(span.dur.as_nanos())),
+            ];
+            for (k, v) in &span.args {
+                args.push((*k, Json::Str(v.clone())));
+            }
+            events.push(Json::obj(vec![
+                ("name", Json::Str(span.name.clone())),
+                ("cat", Json::Str(span.cat.to_string())),
+                ("ph", Json::Str("X".into())),
+                ("pid", Json::num_u64(span.pid)),
+                ("tid", Json::num_u64(span.tid)),
+                ("ts", Json::Num(span.start.as_nanos() as f64 / 1e3)),
+                ("dur", Json::Num(span.dur.as_nanos() as f64 / 1e3)),
+                ("args", Json::obj(args)),
+            ]));
+        }
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+        ])
+        .to_string()
+    }
+
+    /// Write the Chrome-trace JSON to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+
+    /// Re-import spans from Chrome-trace JSON previously produced by
+    /// [`to_chrome_json`](Self::to_chrome_json) (used by round-trip tests
+    /// and external tooling). Metadata events are skipped; exact times are
+    /// taken from `args.start_ns` / `args.dur_ns`.
+    pub fn from_chrome_json(text: &str) -> Result<TraceRecorder, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .ok_or("missing traceEvents array")?;
+        let mut rec = TraceRecorder::enabled();
+        for ev in events {
+            if ev.get("ph").and_then(Json::as_str) != Some("X") {
+                continue;
+            }
+            let field_u64 = |k: &str| ev.get(k).and_then(Json::as_u64);
+            let args = ev.get("args").ok_or("span missing args")?;
+            let span = TraceSpan {
+                name: ev.get("name").and_then(Json::as_str).unwrap_or("").to_string(),
+                cat: cat_from_str(ev.get("cat").and_then(Json::as_str).unwrap_or("")),
+                pid: field_u64("pid").ok_or("span missing pid")?,
+                tid: field_u64("tid").ok_or("span missing tid")?,
+                start: SimTime::from_nanos(
+                    args.get("start_ns").and_then(Json::as_u64).ok_or("missing start_ns")?,
+                ),
+                dur: SimDuration::from_nanos(
+                    args.get("dur_ns").and_then(Json::as_u64).ok_or("missing dur_ns")?,
+                ),
+                args: Vec::new(),
+            };
+            rec.record(span);
+        }
+        Ok(rec)
+    }
+}
+
+/// Map a category string back to the canonical `&'static str` constant
+/// (unknown categories land on a generic label).
+fn cat_from_str(s: &str) -> &'static str {
+    match s {
+        "compute.fwd" => cat::COMPUTE_FWD,
+        "compute.bwd" => cat::COMPUTE_BWD,
+        "comm" => cat::COMM,
+        "bubble" => cat::BUBBLE,
+        "gradsync" => cat::GRAD_SYNC,
+        "stall" => cat::STALL,
+        "checkpoint" => cat::CHECKPOINT,
+        "iteration" => cat::ITERATION,
+        "preprocess.fetch" => cat::PRE_FETCH,
+        "preprocess.decode" => cat::PRE_DECODE,
+        "preprocess.feed" => cat::PRE_FEED,
+        _ => "other",
+    }
+}
+
+/// A thread-safe wall-clock sink for components that run on real threads
+/// (the preprocessing producer/consumer service). Wall time since the
+/// sink's creation maps to the trace clock nanosecond-for-nanosecond.
+#[derive(Debug, Clone)]
+pub struct WallTraceSink {
+    rec: Arc<Mutex<TraceRecorder>>,
+    epoch: Instant,
+}
+
+impl Default for WallTraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WallTraceSink {
+    /// Create an enabled sink; its epoch (trace t=0) is "now".
+    pub fn new() -> Self {
+        WallTraceSink { rec: Arc::new(Mutex::new(TraceRecorder::enabled())), epoch: Instant::now() }
+    }
+
+    /// Record a span covering `[started, Instant::now())`.
+    pub fn record(
+        &self,
+        name: impl Into<String>,
+        category: &'static str,
+        pid: u64,
+        tid: u64,
+        started: Instant,
+    ) {
+        let start = started.saturating_duration_since(self.epoch);
+        let dur = started.elapsed();
+        let span = TraceSpan::new(
+            name,
+            category,
+            pid,
+            tid,
+            SimTime::from_nanos(start.as_nanos() as u64),
+            SimDuration::from_nanos(dur.as_nanos() as u64),
+        );
+        if let Ok(mut rec) = self.rec.lock() {
+            rec.record(span);
+        }
+    }
+
+    /// Snapshot the spans recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceSpan> {
+        self.rec.lock().map(|r| r.spans().to_vec()).unwrap_or_default()
+    }
+
+    /// Drain into a plain recorder (for export alongside simulated spans).
+    pub fn into_recorder(self) -> TraceRecorder {
+        match Arc::try_unwrap(self.rec) {
+            Ok(m) => m.into_inner().unwrap_or_else(|_| TraceRecorder::enabled()),
+            Err(arc) => {
+                let mut rec = TraceRecorder::enabled();
+                if let Ok(inner) = arc.lock() {
+                    for span in inner.spans() {
+                        rec.record(span.clone());
+                    }
+                }
+                rec
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(pid: u64, tid: u64, start: u64, dur: u64) -> TraceSpan {
+        TraceSpan::new(
+            format!("s{start}"),
+            cat::COMPUTE_FWD,
+            pid,
+            tid,
+            SimTime::from_nanos(start),
+            SimDuration::from_nanos(dur),
+        )
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let mut rec = TraceRecorder::disabled();
+        rec.record(span(0, 0, 0, 10));
+        rec.record_with(|| unreachable!("closure must not run when disabled"));
+        assert!(!rec.is_enabled());
+        assert!(rec.is_empty());
+        assert_eq!(rec.to_chrome_json().matches("\"ph\":\"X\"").count(), 0);
+    }
+
+    #[test]
+    fn origin_shifts_spans() {
+        let mut rec = TraceRecorder::enabled();
+        rec.record(span(0, 0, 5, 10));
+        rec.set_origin(SimTime::from_nanos(100));
+        rec.record(span(0, 0, 5, 10));
+        assert_eq!(rec.spans()[0].start.as_nanos(), 5);
+        assert_eq!(rec.spans()[1].start.as_nanos(), 105);
+    }
+
+    #[test]
+    fn track_totals_sum_by_category() {
+        let mut rec = TraceRecorder::enabled();
+        rec.record(span(0, 0, 0, 10));
+        rec.record(span(0, 0, 10, 30));
+        rec.record(span(0, 1, 0, 7));
+        assert_eq!(rec.track_total(0, 0, None).as_nanos(), 40);
+        assert_eq!(rec.track_total(0, 0, Some(cat::COMPUTE_FWD)).as_nanos(), 40);
+        assert_eq!(rec.track_total(0, 0, Some(cat::BUBBLE)).as_nanos(), 0);
+        assert_eq!(rec.category_total(cat::COMPUTE_FWD).as_nanos(), 47);
+        assert_eq!(rec.tracks(), vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn nesting_accepts_sequential_and_nested_spans() {
+        let mut rec = TraceRecorder::enabled();
+        rec.record(span(0, 0, 0, 100)); // outer
+        rec.record(span(0, 0, 10, 20)); // nested
+        rec.record(span(0, 0, 40, 30)); // nested, sequential to previous
+        rec.record(span(0, 0, 100, 50)); // disjoint
+        rec.validate_nesting().expect("valid nesting");
+    }
+
+    #[test]
+    fn nesting_rejects_partial_overlap() {
+        let mut rec = TraceRecorder::enabled();
+        rec.record(span(0, 0, 0, 100));
+        rec.record(span(0, 0, 50, 100)); // straddles the first span's end
+        assert!(rec.validate_nesting().is_err());
+    }
+
+    #[test]
+    fn chrome_json_round_trips() {
+        let mut rec = TraceRecorder::enabled();
+        rec.record(span(2, 3, 123, 456).with_arg("microbatch", "7"));
+        rec.record(TraceSpan::new(
+            "grad-sync",
+            cat::GRAD_SYNC,
+            2,
+            9,
+            SimTime::from_nanos(1000),
+            SimDuration::from_nanos(250),
+        ));
+        let json = rec.to_chrome_json();
+        let back = TraceRecorder::from_chrome_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.spans()[0].start.as_nanos(), 123);
+        assert_eq!(back.spans()[0].dur.as_nanos(), 456);
+        assert_eq!(back.spans()[1].cat, cat::GRAD_SYNC);
+        assert_eq!(back.track_total(2, 3, None), rec.track_total(2, 3, None));
+    }
+
+    #[test]
+    fn wall_sink_records_real_spans() {
+        let sink = WallTraceSink::new();
+        let started = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.record("fetch", cat::PRE_FETCH, 9, 0, started);
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].dur.as_nanos() >= 1_000_000, "sleep must be visible");
+        let rec = sink.into_recorder();
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_recorders() {
+        let mut a = TraceRecorder::enabled();
+        a.record(span(0, 0, 0, 1));
+        let mut b = TraceRecorder::enabled();
+        b.record(span(1, 0, 0, 2));
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+    }
+}

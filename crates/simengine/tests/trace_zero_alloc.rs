@@ -1,0 +1,76 @@
+//! The disabled recorder must be free on the hot path: emission points are
+//! compiled into every schedule/runtime loop, so a run without `--trace`
+//! must not pay even an allocation for them. Verified with a counting
+//! global allocator (which is why this lives in its own integration test —
+//! the allocator is process-global).
+
+use dt_simengine::trace::{cat, TraceRecorder, TraceSpan};
+use dt_simengine::{SimDuration, SimTime};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_recorder_never_allocates() {
+    let mut rec = TraceRecorder::disabled();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        // The span constructor inside the closure allocates (String,
+        // args); a disabled recorder must skip the closure entirely.
+        rec.record_with(|| {
+            TraceSpan::new(
+                format!("span {i}"),
+                cat::COMPUTE_FWD,
+                0,
+                0,
+                SimTime::from_nanos(i),
+                SimDuration::from_nanos(1),
+            )
+            .with_arg("microbatch", i.to_string())
+        });
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled TraceRecorder::record_with must not allocate");
+    assert!(rec.is_empty());
+}
+
+#[test]
+fn enabled_recorder_does_allocate_as_a_sanity_check() {
+    // Guards against the counter silently not counting (e.g. a future
+    // allocator change): the same loop with an enabled recorder must
+    // register allocations.
+    let mut rec = TraceRecorder::enabled();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..100u64 {
+        rec.record_with(|| {
+            TraceSpan::new(
+                format!("span {i}"),
+                cat::COMPUTE_FWD,
+                0,
+                0,
+                SimTime::from_nanos(i),
+                SimDuration::from_nanos(1),
+            )
+        });
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert!(after > before, "enabled recorder must record (and thus allocate)");
+    assert_eq!(rec.len(), 100);
+}

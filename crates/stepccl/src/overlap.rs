@@ -15,7 +15,6 @@
 use dt_cluster::{CollectiveCost, CollectiveKind, CommDomain, GpuSpec};
 use dt_model::TransformerConfig;
 use dt_simengine::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Baseline without overlap: the collective completes, then the GEMM runs
 /// (Megatron's default serialization).
@@ -25,7 +24,7 @@ pub fn sequential_time(gemm: SimDuration, comm: SimDuration) -> SimDuration {
 
 /// NCCL-style concurrent execution: communication and GEMM run together,
 /// but the communication kernels occupy SMs and slow the GEMM by
-/// `sm_slowdown` (≥ 1; [52] reports 1.1–1.3× for NCCL sharing). The pair
+/// `sm_slowdown` (≥ 1; \[52\] reports 1.1–1.3× for NCCL sharing). The pair
 /// finishes when both streams do.
 pub fn nccl_concurrent_time(gemm: SimDuration, comm: SimDuration, sm_slowdown: f64) -> SimDuration {
     gemm.mul_f64(sm_slowdown.max(1.0)).max(comm)
@@ -57,7 +56,7 @@ pub fn overlapped_time(
 /// Per-layer and per-stage iteration model behind Figure 22: the time of
 /// one PP stage of the LLM backbone (one minimal TP group) with and without
 /// StepCCL.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StepCclModel {
     /// Chunks per (GEMM, collective) pair (configurable; §A.1 footnote).
     pub chunks: u32,
@@ -83,7 +82,7 @@ impl Default for StepCclModel {
 }
 
 /// Result of one Figure 22 data point.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct StageIteration {
     /// Per-stage iteration time without StepCCL (sequential collectives).
     pub baseline: SimDuration,
@@ -145,7 +144,6 @@ mod tests {
     use super::*;
     use dt_cluster::ClusterSpec;
     use dt_model::llama;
-    use proptest::prelude::*;
 
     fn d(us: u64) -> SimDuration {
         SimDuration::from_micros(us)
@@ -212,16 +210,20 @@ mod tests {
         assert!(last > 1.08, "TP=8 gain {last:.3} below the paper's band");
     }
 
-    proptest! {
-        /// Overlap never loses to sequential and never beats pure GEMM +
-        /// one chunk of comm.
-        #[test]
-        fn overlap_is_bounded(g in 1u64..10_000, c in 1u64..10_000, n in 1u32..16) {
+    /// Overlap never loses to sequential and never beats pure GEMM +
+    /// one chunk of comm. Seed-swept property.
+    #[test]
+    fn overlap_is_bounded() {
+        for seed in 0u64..300 {
+            let mut rng = dt_simengine::DetRng::new(seed);
+            let g = rng.range_u64(1, 10_000);
+            let c = rng.range_u64(1, 10_000);
+            let n = rng.range_u64(1, 16) as u32;
             let gemm = SimDuration::from_nanos(g * 100);
             let comm = SimDuration::from_nanos(c * 100);
             let t = overlapped_time(gemm, comm, n, SimDuration::ZERO);
-            prop_assert!(t <= sequential_time(gemm, comm));
-            prop_assert!(t >= gemm.max(comm));
+            assert!(t <= sequential_time(gemm, comm), "seed {seed}");
+            assert!(t >= gemm.max(comm), "seed {seed}");
         }
     }
 }

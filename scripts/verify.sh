@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, doc tests, and warning-free docs.
+#
+# NB: the root Cargo.toml is both a [workspace] and the facade [package],
+# so every cargo invocation here passes --workspace explicitly — a bare
+# `cargo test` at the root only covers the facade crate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo test --doc --workspace"
+cargo test --doc --workspace -q
+
+echo "==> RUSTDOCFLAGS=\"-D warnings\" cargo doc --no-deps --workspace"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> all checks passed"

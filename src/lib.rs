@@ -11,10 +11,51 @@
 //! assert_eq!(cluster.total_gpus(), 16);
 //! ```
 //!
+//! The `examples/pipeline_timeline.rs` walkthrough — simulate a 1F1B
+//! pipeline with a straggler microbatch (Figure 7), fix it with
+//! Algorithm 2, and draw both — fits in a doc example because every
+//! subsystem is re-exported here:
+//!
+//! ```
+//! use disttrain::pipeline::{render_gantt, simulate, PipelineSpec, Schedule, Workload};
+//! use disttrain::reorder::{inter_reorder, InterReorderConfig};
+//! use disttrain::simengine::{DetRng, SimDuration};
+//!
+//! let p = 4;
+//! let run = |stage0: &[f64]| {
+//!     let l = stage0.len();
+//!     let mut fwd = vec![stage0.iter().map(|&t| SimDuration::from_secs_f64(t)).collect::<Vec<_>>()];
+//!     let mut bwd = vec![stage0.iter().map(|&t| SimDuration::from_secs_f64(2.0 * t)).collect::<Vec<_>>()];
+//!     for _ in 1..p {
+//!         fwd.push(vec![SimDuration::from_secs_f64(0.10); l]);
+//!         bwd.push(vec![SimDuration::from_secs_f64(0.20); l]);
+//!     }
+//!     simulate(&PipelineSpec::uniform(Schedule::OneFOneB, p, SimDuration::ZERO), &Workload { fwd, bwd })
+//! };
+//!
+//! // Heterogeneous multimodal encoder microbatches (Figure 7b)…
+//! let mut rng = DetRng::new(27);
+//! let hetero: Vec<f64> = (0..10).map(|_| rng.lognormal(-2.2, 1.0)).collect();
+//! let straggled = run(&hetero);
+//!
+//! // …which Algorithm 2's interval-filling reorder mitigates (§5.3):
+//! let order = inter_reorder(&InterReorderConfig::new(p, 0.10, 0.20), &hetero);
+//! let reordered: Vec<f64> = order.iter().map(|&i| hetero[i]).collect();
+//! let fixed = run(&reordered);
+//! assert!(fixed.makespan < straggled.makespan, "reorder must shorten this run");
+//!
+//! // Both timelines render as ASCII Gantt charts (one row per stage).
+//! let gantt = render_gantt(&straggled, 80);
+//! assert_eq!(gantt.lines().count(), p + 1);
+//! ```
+//!
 //! See the individual crates for the subsystem documentation:
 //! [`simengine`], [`cluster`], [`model`], [`data`], [`parallel`],
 //! [`pipeline`], [`reorder`], [`orchestrator`], [`preprocess`], [`stepccl`],
-//! and [`core`] (the DistTrain manager/runtime itself).
+//! and [`core`] (the DistTrain manager/runtime itself). Observability —
+//! span recording ([`simengine::trace`]), Chrome-trace export, per-module
+//! breakdowns — is documented in the README's *Observability* section and
+//! on [`core::Runtime::run_traced`].
 
 pub use disttrain_core as core;
 pub use dt_cluster as cluster;
