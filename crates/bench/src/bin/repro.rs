@@ -1,24 +1,31 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro all                  # every experiment, presentation order
-//! repro fig13 fig14          # specific experiments
-//! repro list                 # what exists
-//! repro --trace out.json     # traced observability run (Chrome JSON +
-//!                            # per-module breakdown + per-rank Gantt)
+//! repro all                      # every experiment, presentation order
+//! repro fig13 fig14              # specific experiments
+//! repro list                     # what exists
+//! repro fig13 --trace out.json   # also run the traced observability demo
+//! repro elastic --trace out.json # elastic multi-failure run, Chrome trace
+//! repro all --json out.json      # archive every table as JSON
 //! ```
 //!
-//! Any unknown experiment name is an error (exit code 2) — a misspelled
-//! name never silently degrades a regeneration run.
+//! Flags may appear anywhere (before or after experiment names). An empty
+//! experiment list and any unknown experiment name are errors (exit
+//! code 2) — a misspelled or missing name never silently degrades a
+//! regeneration run. `--trace` alongside the `elastic` experiment traces
+//! the elastic run itself; with any other selection it runs the default
+//! traced observability demo (Chrome JSON + per-module breakdown +
+//! per-rank Gantt) before the experiments.
 //!
 //! Build with `--release`: the production-scale simulations (fig13/fig14)
 //! and the real preprocessing measurements (fig17) are CPU-heavy.
 
-use dt_bench::experiments;
+use dt_bench::experiments::{self, Experiment};
 use dt_bench::tracebench;
+use dt_simengine::Json;
 
-fn usage(all: &[(&str, fn() -> dt_bench::Report)]) {
-    eprintln!("usage: repro [--trace <path>] <experiment>... | all | list");
+fn usage(all: &[Experiment]) {
+    eprintln!("usage: repro [--trace <path>] [--json <path>] <experiment>... | all | list");
     eprintln!("experiments:");
     for (name, _) in all {
         eprintln!("  {name}");
@@ -43,54 +50,102 @@ fn run_traced(path: &str) {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
     let all = experiments::all();
 
-    let trace_path = match args.iter().position(|a| a == "--trace") {
-        Some(i) => {
-            args.remove(i);
-            if i >= args.len() {
-                eprintln!("error: --trace requires an output path");
+    let mut names: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            flag @ ("--trace" | "--json") => {
+                let Some(value) = raw.get(i + 1) else {
+                    eprintln!("error: {flag} requires an output path");
+                    std::process::exit(2);
+                };
+                if flag == "--trace" {
+                    trace_path = Some(value.clone());
+                } else {
+                    json_path = Some(value.clone());
+                }
+                i += 2;
+            }
+            "--help" | "-h" | "list" => {
+                usage(&all);
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag '{other}'");
+                usage(&all);
                 std::process::exit(2);
             }
-            Some(args.remove(i))
+            name => {
+                names.push(name.to_string());
+                i += 1;
+            }
         }
-        None => None,
-    };
+    }
 
-    if args.is_empty() && trace_path.is_none() {
+    if names.is_empty() {
         usage(&all);
         std::process::exit(2);
     }
-    if args.iter().any(|a| a == "--help" || a == "-h" || a == "list") {
-        usage(&all);
-        std::process::exit(0);
-    }
     // Validate every name up front: a misspelling anywhere (even next to
     // `all`) must fail loudly rather than be silently skipped.
-    for arg in &args {
-        if arg != "all" && !all.iter().any(|(name, _)| name == arg) {
-            eprintln!("error: unknown experiment '{arg}' (try `repro list`)");
+    for name in &names {
+        if name != "all" && !all.iter().any(|(n, _)| n == name) {
+            eprintln!("error: unknown experiment '{name}' (try `repro list`)");
             std::process::exit(2);
         }
     }
 
-    if let Some(path) = &trace_path {
-        run_traced(path);
-    }
-
-    let selected: Vec<&(&str, fn() -> dt_bench::Report)> = if args.iter().any(|a| a == "all") {
+    let selected: Vec<&Experiment> = if names.iter().any(|a| a == "all") {
         all.iter().collect()
     } else {
-        args.iter()
-            .map(|arg| all.iter().find(|(name, _)| name == arg).expect("validated above"))
+        names
+            .iter()
+            .map(|name| all.iter().find(|(n, _)| n == name).expect("validated above"))
             .collect()
     };
 
+    // `--trace` traces the elastic run itself when `elastic` is selected;
+    // otherwise it runs the default traced observability demo up front.
+    let elastic_traced = selected.iter().any(|(name, _)| *name == "elastic");
+    if let Some(path) = trace_path.as_ref().filter(|_| !elastic_traced) {
+        run_traced(path);
+    }
+
+    let mut archived: Vec<(String, dt_bench::Report)> = Vec::new();
     for (name, runner) in selected {
         let started = std::time::Instant::now();
-        let report = runner();
+        let report = match (*name, trace_path.as_ref()) {
+            ("elastic", Some(path)) => experiments::elastic::run_traced(path),
+            _ => runner(),
+        };
         println!("{}", report.render());
         println!("   [{name} regenerated in {:.1}s]\n", started.elapsed().as_secs_f64());
+        if json_path.is_some() {
+            archived.push((name.to_string(), report));
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let doc = Json::Arr(
+            archived
+                .iter()
+                .map(|(name, report)| {
+                    Json::obj(vec![
+                        ("experiment", Json::Str(name.clone())),
+                        ("report", report.to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("error: cannot write JSON to '{path}': {e}");
+            std::process::exit(1);
+        }
+        println!("   [archived {} report(s) into {path}]\n", archived.len());
     }
 }

@@ -1,0 +1,150 @@
+//! Elastic training sweep — MTBF × checkpoint policy × spare pool (§3, §6).
+//!
+//! The paper's fault story (automatic recovery from the latest checkpoint,
+//! week-long runs where failures are routine) quantified: the 9B ablation
+//! task runs under seeded node-failure streams while the sweep varies the
+//! per-node MTBF (benign vs harsh), the checkpoint policy (fixed cadence
+//! vs the Young–Daly optimum), and the hot-spare pool (0 vs 1). Each cell
+//! reports goodput (committed compute over wall clock), survived failures
+//! and shrinks, and the MFU delta between the final and the pre-failure
+//! plan epoch — the cost of running re-orchestrated on a smaller cluster.
+
+use crate::report::{fmt_pct, Report};
+use dt_elastic::{run_elastic_with, CheckpointPolicy, ElasticPlan};
+use dt_model::MllmPreset;
+use dt_simengine::{SimDuration, TraceRecorder};
+
+use super::ablation_task;
+use disttrain_core::SystemKind;
+
+/// Iterations per sweep cell: long enough for multi-failure timelines at
+/// the harsh MTBF, short enough to keep the sweep interactive.
+const CELL_ITERS: u32 = 10;
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+fn cell_plan(mtbf: f64, policy: CheckpointPolicy, spares: u32) -> ElasticPlan {
+    ElasticPlan {
+        node_mtbf: secs(mtbf),
+        failure_seed: 5,
+        spare_nodes: spares,
+        checkpoint: policy,
+        checkpoint_cost: secs(1.0),
+        restart_overhead: secs(5.0),
+        reshard_cost: secs(3.0),
+    }
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dt-elastic-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp checkpoint dir");
+    dir
+}
+
+/// Run the 2×2×2 sweep.
+pub fn run() -> Report {
+    let task = ablation_task(MllmPreset::Mllm9B);
+    let initial = task.plan(SystemKind::DistTrain).expect("9B ablation plans");
+
+    let mut r = Report::new(
+        "Elastic training — goodput under MTBF × checkpoint policy × spares",
+        &["mtbf", "policy", "spares", "failures", "shrinks", "ckpt-int", "goodput", "mfu", "Δmfu"],
+    );
+    r.note("9B ablation task, 12 nodes, seeded failure stream (§3/§6).");
+    r.note("goodput = committed compute / wall clock; Δmfu = final epoch vs");
+    r.note("pre-failure plan (0 when the cluster never shrank).");
+
+    for &mtbf in &[2000.0, 250.0] {
+        for policy in [CheckpointPolicy::Fixed(2), CheckpointPolicy::YoungDaly] {
+            for spares in [1u32, 0] {
+                let plan = cell_plan(mtbf, policy, spares);
+                let dir = tempdir(&format!("{mtbf}-{policy}-{spares}"));
+                let out = run_elastic_with(
+                    &task,
+                    CELL_ITERS,
+                    &plan,
+                    initial,
+                    &dir,
+                    &mut TraceRecorder::disabled(),
+                )
+                .expect("elastic run");
+                let _ = std::fs::remove_dir_all(&dir);
+                out.goodput.validate().expect("exact goodput accounting");
+                let mfus = out.epoch_mfus();
+                let delta = mfus.last().copied().unwrap_or(0.0) - mfus.first().copied().unwrap_or(0.0);
+                r.row(vec![
+                    format!("{mtbf:.0}s"),
+                    policy.to_string(),
+                    format!("{spares}"),
+                    format!("{}", out.goodput.failures),
+                    format!("{}", out.goodput.shrinks),
+                    format!("{}", out.epochs[0].checkpoint_interval),
+                    fmt_pct(out.goodput.goodput()),
+                    fmt_pct(out.report.mfu()),
+                    format!("{:+.1}pp", delta * 100.0),
+                ]);
+            }
+        }
+    }
+    r
+}
+
+/// One harsh traced cell: run the multi-failure scenario with span
+/// recording and write the Chrome trace to `path` (for
+/// `repro elastic --trace out.json`).
+pub fn run_traced(path: &str) -> Report {
+    let task = ablation_task(MllmPreset::Mllm9B);
+    let initial = task.plan(SystemKind::DistTrain).expect("9B ablation plans");
+    let plan = cell_plan(250.0, CheckpointPolicy::Fixed(2), 1);
+    let dir = tempdir("traced");
+    let mut rec = TraceRecorder::enabled();
+    let out = run_elastic_with(&task, CELL_ITERS, &plan, initial, &dir, &mut rec)
+        .expect("elastic run");
+    let _ = std::fs::remove_dir_all(&dir);
+    rec.validate_nesting().expect("elastic spans nest cleanly");
+    if let Err(e) = rec.write_chrome_trace(std::path::Path::new(path)) {
+        eprintln!("error: cannot write trace to '{path}': {e}");
+        std::process::exit(1);
+    }
+
+    let mut r = Report::new(
+        "Elastic training — traced multi-failure run",
+        &["iterations", "failures", "shrinks", "goodput", "spans"],
+    );
+    r.note(format!("Chrome trace written to {path} (failure / recovery / reorch"));
+    r.note("spans on tid 2, checkpoints on tid 1 of the trainer process).");
+    r.row(vec![
+        format!("{}", out.report.iterations.len()),
+        format!("{}", out.goodput.failures),
+        format!("{}", out.goodput.shrinks),
+        fmt_pct(out.goodput.goodput()),
+        format!("{}", rec.len()),
+    ]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_the_elastic_tradeoffs() {
+        let r = run();
+        assert_eq!(r.rows.len(), 8);
+        let failures: Vec<u32> = r.rows.iter().map(|row| row[3].parse().unwrap()).collect();
+        let shrinks: Vec<u32> = r.rows.iter().map(|row| row[4].parse().unwrap()).collect();
+        // The harsh half of the sweep (last four rows) must actually fail.
+        assert!(failures[4..].iter().all(|&f| f > 0), "harsh cells must see failures");
+        // Zero-spare harsh cells must shrink; the benign cells never do.
+        assert!(shrinks[4..].iter().any(|&s| s > 0), "spares exhaust under harsh MTBF");
+        assert!(shrinks[..2].iter().all(|&s| s == 0), "benign cells keep all nodes");
+        // Goodput is a valid percentage everywhere.
+        for row in &r.rows {
+            let g: f64 = row[6].trim_end_matches('%').parse().unwrap();
+            assert!((0.0..=100.0).contains(&g));
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! in `DESIGN.md` §4 and `EXPERIMENTS.md`.
 
 pub mod ablations;
+pub mod elastic;
 pub mod fig03;
 pub mod fig04;
 pub mod fig05;
@@ -44,8 +45,11 @@ pub fn ablation_task_with(model: MultimodalLlm, preset: MllmPreset) -> TrainingT
     TrainingTask::ablation(model, preset.ablation_global_batch())
 }
 
+/// A reproducible experiment: its `repro` command name plus its runner.
+pub type Experiment = (&'static str, fn() -> Report);
+
 /// Every experiment, in presentation order, as `(command, runner)`.
-pub fn all() -> Vec<(&'static str, fn() -> Report)> {
+pub fn all() -> Vec<Experiment> {
     vec![
         ("zoo", zoo::run as fn() -> Report),
         ("fig3", fig03::run),
@@ -67,6 +71,7 @@ pub fn all() -> Vec<(&'static str, fn() -> Report)> {
         ("fig22", fig22::run),
         ("table3", table3::run),
         ("hetero", hetero::run),
+        ("elastic", elastic::run),
         ("ablation-broker", ablations::broker),
         ("ablation-schedule", ablations::schedule),
         ("ablation-stepccl", ablations::stepccl_chunks),

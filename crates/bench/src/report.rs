@@ -43,6 +43,19 @@ impl Report {
         self
     }
 
+    /// The report as a JSON object (`repro --json <path>` archives runs
+    /// in a machine-readable form next to the textual tables).
+    pub fn to_json(&self) -> dt_simengine::Json {
+        use dt_simengine::Json;
+        let strings = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::obj(vec![
+            ("title", Json::Str(self.title.clone())),
+            ("commentary", strings(&self.commentary)),
+            ("columns", strings(&self.columns)),
+            ("rows", Json::Arr(self.rows.iter().map(|r| strings(r)).collect())),
+        ])
+    }
+
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();

@@ -85,6 +85,33 @@ impl ClusterSpec {
         self.num_nodes * self.node.gpus_per_node
     }
 
+    /// The node a global GPU index lives on — the failure domain of that
+    /// GPU. GPUs are numbered node-major (`node·gpus_per_node + local`), so
+    /// a node failure kills one contiguous block of indices.
+    pub fn node_of_gpu(&self, gpu: u32) -> u32 {
+        gpu / self.node.gpus_per_node.max(1)
+    }
+
+    /// The global GPU indices of one node (its whole failure domain).
+    pub fn gpus_of_node(&self, node: u32) -> std::ops::Range<u32> {
+        let per = self.node.gpus_per_node;
+        node * per..(node + 1) * per
+    }
+
+    /// The cluster that remains after losing `lost` nodes. The surviving
+    /// cluster is re-numbered contiguously — which nodes died does not
+    /// matter for a homogeneous cluster, only how many. `None` when the
+    /// loss would leave no nodes.
+    pub fn without_nodes(&self, lost: u32) -> Option<ClusterSpec> {
+        let remaining = self.num_nodes.checked_sub(lost)?;
+        if remaining == 0 {
+            return None;
+        }
+        let mut c = self.clone();
+        c.num_nodes = remaining;
+        Some(c)
+    }
+
     /// Bandwidth available between two GPUs on *different* nodes.
     ///
     /// With a rail-optimized fabric each GPU index reaches its peers through
@@ -125,6 +152,32 @@ mod tests {
     fn nvlink_dwarfs_rdma() {
         let n = NodeSpec::production();
         assert!(n.nvlink_busbw > 10.0 * n.per_gpu_internode_bw());
+    }
+
+    #[test]
+    fn failure_domains_tile_the_cluster() {
+        let c = ClusterSpec::production(12);
+        assert_eq!(c.node_of_gpu(0), 0);
+        assert_eq!(c.node_of_gpu(7), 0);
+        assert_eq!(c.node_of_gpu(8), 1);
+        assert_eq!(c.node_of_gpu(95), 11);
+        assert_eq!(c.gpus_of_node(3), 24..32);
+        // Every GPU belongs to exactly the node whose range contains it.
+        for gpu in 0..c.total_gpus() {
+            let node = c.node_of_gpu(gpu);
+            assert!(c.gpus_of_node(node).contains(&gpu));
+        }
+    }
+
+    #[test]
+    fn shrinking_removes_whole_nodes() {
+        let c = ClusterSpec::production(12);
+        let s = c.without_nodes(3).unwrap();
+        assert_eq!(s.num_nodes, 9);
+        assert_eq!(s.total_gpus(), 72);
+        assert_eq!(s.node, c.node, "surviving nodes are unchanged");
+        assert!(c.without_nodes(12).is_none(), "cannot lose every node");
+        assert!(c.without_nodes(13).is_none());
     }
 
     #[test]

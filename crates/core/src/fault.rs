@@ -128,7 +128,7 @@ pub fn run_with_failure_traced(
         }
         committed.push(report);
         it += 1;
-        if it % fault.checkpoint_every.max(1) == 0 {
+        if it.is_multiple_of(fault.checkpoint_every.max(1)) {
             let enqueue = Instant::now();
             mgr.save_async(&TrainingState { iteration: it, plan: runtime.plan, seed: runtime.cfg.seed })?;
             if rec.is_enabled() {

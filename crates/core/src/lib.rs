@@ -24,6 +24,7 @@ pub mod metrics;
 pub mod runtime;
 pub mod system;
 
+pub use checkpoint::{CheckpointManager, TrainingState};
 pub use fault::{run_with_failure, run_with_failure_traced, FaultPlan, FaultReport};
 pub use metrics::{IterationReport, TrainingReport};
 pub use runtime::{Runtime, RuntimeConfig};

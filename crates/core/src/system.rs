@@ -6,7 +6,7 @@ use crate::runtime::{Runtime, RuntimeConfig};
 use dt_cluster::{ClusterSpec, CollectiveCost};
 use dt_data::DataConfig;
 use dt_model::MultimodalLlm;
-use dt_orchestrator::baselines::{distmm_star_plan, megatron_plan};
+use dt_orchestrator::baselines::{distmm_star_plan, megatron_plan, proportional_shrink_plan};
 use dt_orchestrator::formulate::ProblemSpec;
 use dt_orchestrator::{Orchestrator, PerfModel, Profiler};
 use dt_parallel::OrchestrationPlan;
@@ -213,6 +213,38 @@ impl TrainingTask {
             .map(|(_, _, plan)| plan)
     }
 
+    /// The same task on a cluster that has lost `lost_nodes` whole nodes
+    /// (the failure domain of §3's node failures). `None` when no node
+    /// would remain.
+    pub fn shrunk(&self, lost_nodes: u32) -> Option<TrainingTask> {
+        let cluster = self.cluster.without_nodes(lost_nodes)?;
+        Some(TrainingTask { cluster, ..self.clone() })
+    }
+
+    /// Re-orchestrate after the cluster shrank: re-run the §4 search on
+    /// the degraded GPU budget and trial the candidates *together with*
+    /// the naive proportional shrink of `old_plan` (what a non-elastic
+    /// system would keep running). Because the naive plan is in the trial
+    /// set, the elastic re-plan never selects something worse than it
+    /// under the §7.1 selection rule. `None` when not even the naive
+    /// shapes fit the survivors.
+    pub fn replan_shrunk(&self, old_plan: &OrchestrationPlan) -> Option<OrchestrationPlan> {
+        let spec = self.problem_spec();
+        let coll = CollectiveCost::new(self.cluster.clone());
+        let perf = PerfModel::new(&self.model, &self.cluster.node.gpu, &coll).with_stepccl();
+        let mut data =
+            dt_data::SyntheticLaion::new(self.data.clone(), DetRng::new(self.seed).next_u64());
+        let samples = data.take(64);
+        let profile = Profiler.profile(&perf, &samples);
+        let mut candidates: Vec<OrchestrationPlan> = Orchestrator::new(spec)
+            .plan_candidates(&self.model, &profile, 12)
+            .into_iter()
+            .map(|r| r.plan)
+            .collect();
+        candidates.extend(proportional_shrink_plan(&self.problem_spec(), &self.model, old_plan));
+        self.select_by_trial(candidates.into_iter())
+    }
+
     /// The runtime configuration each system uses for data handling
     /// (DistMM* keeps all of DistTrain's data-path techniques, §7.2).
     pub fn runtime_config(&self, kind: SystemKind, iterations: u32) -> RuntimeConfig {
@@ -305,6 +337,43 @@ mod tests {
         let mg = t.run(SystemKind::MegatronLM, 2).unwrap();
         assert!(dt.mfu() >= dm.mfu(), "DistTrain {:.3} vs DistMM* {:.3}", dt.mfu(), dm.mfu());
         assert!(dm.mfu() > mg.mfu(), "DistMM* {:.3} vs Megatron {:.3}", dm.mfu(), mg.mfu());
+    }
+
+    #[test]
+    fn shrunk_task_loses_whole_nodes() {
+        let t = task(MllmPreset::Mllm9B);
+        let s = t.shrunk(2).unwrap();
+        assert_eq!(s.cluster.num_nodes, 10);
+        assert_eq!(s.global_batch, t.global_batch);
+        assert!(t.shrunk(12).is_none());
+    }
+
+    #[test]
+    fn replan_after_shrink_beats_the_naive_plan() {
+        // The elastic acceptance scenario: lose one node of the §7.2
+        // ablation cluster; re-orchestration must yield MFU at least as
+        // high as naively keeping the old (x, y, z) ratios — guaranteed
+        // because the naive plan sits in the re-plan's own trial set.
+        let t = task(MllmPreset::Mllm9B);
+        let old = t.plan(SystemKind::DistTrain).expect("initial plan");
+        let shrunk = t.shrunk(1).unwrap();
+        let replanned = shrunk.replan_shrunk(&old).expect("re-orchestration");
+        let naive = proportional_shrink_plan(&shrunk.problem_spec(), &shrunk.model, &old)
+            .expect("naive proportional shrink");
+        assert!(replanned.total_gpus() <= shrunk.cluster.total_gpus());
+        let run = |p| {
+            shrunk
+                .run_with_plan(p, shrunk.runtime_config(SystemKind::DistTrain, 2))
+                .unwrap()
+        };
+        let re = run(replanned);
+        let na = run(naive);
+        assert!(
+            re.mfu() >= na.mfu(),
+            "re-orchestrated MFU {:.4} must not lose to naive {:.4}",
+            re.mfu(),
+            na.mfu()
+        );
     }
 
     #[test]

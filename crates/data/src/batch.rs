@@ -72,7 +72,7 @@ impl GlobalBatch {
         let dp = dp.max(1) as usize;
         let m = microbatch.max(1) as usize;
         assert!(
-            self.samples.len() % (dp * m) == 0,
+            self.samples.len().is_multiple_of(dp * m),
             "global batch {} not divisible by dp {} × microbatch {}",
             self.samples.len(),
             dp,

@@ -1,0 +1,117 @@
+//! Goodput accounting: where the wall clock of an elastic run went.
+//!
+//! Every second of a run with failures falls into exactly one bucket —
+//! committed compute, checkpoint writes, restart, re-shard, or lost
+//! (replayed) work — and the buckets must reconstruct the wall clock
+//! exactly ([`GoodputReport::validate`] asserts the identity). *Degraded*
+//! time additionally measures how long the run spent below full capacity;
+//! it overlaps the other buckets rather than joining the partition.
+
+use dt_simengine::SimDuration;
+
+/// Wall-clock decomposition of one elastic training run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GoodputReport {
+    /// Compute that survived into the final training history.
+    pub committed: SimDuration,
+    /// Work destroyed by failures and replayed (partial iterations plus
+    /// rolled-back committed iterations).
+    pub lost: SimDuration,
+    /// Synchronous checkpoint-write time.
+    pub checkpoint: SimDuration,
+    /// Failure detection, rescheduling, checkpoint reload.
+    pub restart: SimDuration,
+    /// State migration onto re-orchestrated plans after shrinks.
+    pub reshard: SimDuration,
+    /// Wall time spent while the cluster ran below its initial node count
+    /// (overlaps the partition buckets; not part of the identity).
+    pub degraded: SimDuration,
+    /// End-to-end wall clock.
+    pub total_wall: SimDuration,
+    /// Node failures survived.
+    pub failures: u32,
+    /// Failures absorbed by shrinking (no spare left).
+    pub shrinks: u32,
+    /// Checkpoints written (including replayed ones).
+    pub checkpoints: u32,
+}
+
+impl GoodputReport {
+    /// Fraction of the wall clock that produced committed training
+    /// progress — the headline elastic metric.
+    pub fn goodput(&self) -> f64 {
+        let w = self.total_wall.as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.committed.as_secs_f64() / w
+        }
+    }
+
+    /// Everything that was not committed compute.
+    pub fn overhead(&self) -> SimDuration {
+        self.lost + self.checkpoint + self.restart + self.reshard
+    }
+
+    /// The partition identity: the five buckets reconstruct the wall
+    /// clock (to sub-microsecond rounding of the tick clock).
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.committed + self.overhead();
+        let diff = sum.max(self.total_wall) - sum.min(self.total_wall);
+        if diff > SimDuration::from_micros(self.failures as u64 + self.checkpoints as u64 + 8) {
+            return Err(format!(
+                "goodput buckets sum to {sum} but wall clock is {} (diff {diff})",
+                self.total_wall
+            ));
+        }
+        if self.degraded > self.total_wall {
+            return Err(format!(
+                "degraded time {} exceeds wall clock {}",
+                self.degraded, self.total_wall
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn goodput_is_committed_over_wall() {
+        let g = GoodputReport {
+            committed: secs(80.0),
+            lost: secs(10.0),
+            checkpoint: secs(5.0),
+            restart: secs(3.0),
+            reshard: secs(2.0),
+            total_wall: secs(100.0),
+            ..Default::default()
+        };
+        assert!((g.goodput() - 0.8).abs() < 1e-12);
+        assert_eq!(g.overhead(), secs(20.0));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_leaky_accounting() {
+        let g = GoodputReport {
+            committed: secs(50.0),
+            total_wall: secs(100.0),
+            ..Default::default()
+        };
+        assert!(g.validate().is_err(), "49 unaccounted seconds must fail");
+    }
+
+    #[test]
+    fn empty_report_is_consistent() {
+        let g = GoodputReport::default();
+        assert_eq!(g.goodput(), 0.0);
+        g.validate().unwrap();
+    }
+}

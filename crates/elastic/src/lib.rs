@@ -1,0 +1,56 @@
+//! # dt-elastic — elastic fault-tolerant training
+//!
+//! §3 and §6 of the paper treat failures as a fact of life: week-long
+//! production runs on 1296 GPUs, automatic recovery from the latest
+//! checkpoint, re-orchestration when the resource pool changes. This
+//! crate turns that story into a testable subsystem on top of the
+//! deterministic simulator:
+//!
+//! * [`stream`] — per-node exponential **MTBF failure streams**, seeded
+//!   and bit-reproducible, with node-level failure domains from the
+//!   [`dt_cluster`] topology;
+//! * [`policy`] — the [`ElasticPlan`] scenario description and the
+//!   **Young–Daly** checkpoint-interval optimum `√(2·C·M)`;
+//! * [`sim`] — a discrete-event checkpoint–restart machine on the
+//!   [`dt_simengine::Simulator`] plus an exhaustive interval search that
+//!   *validates* Young–Daly against simulation;
+//! * [`run`] — the elastic driver: failures roll the real runtime back to
+//!   its newest durable checkpoint; hot spares absorb them in place, and
+//!   when the spare pool runs dry the cluster **shrinks** and the §4
+//!   orchestrator re-plans the survivors (never worse than the naive
+//!   proportional shrink, because the naive plan is in the trial set);
+//! * [`goodput`] — wall-clock accounting: committed / lost / checkpoint /
+//!   restart / re-shard buckets that reconstruct the wall clock exactly,
+//!   plus degraded-capacity time.
+//!
+//! ```
+//! use dt_elastic::{CheckpointPolicy, ElasticPlan, run_elastic};
+//! use disttrain_core::TrainingTask;
+//! use dt_model::MllmPreset;
+//! use dt_simengine::SimDuration;
+//!
+//! let task = TrainingTask::ablation(MllmPreset::Mllm9B.build(), 32);
+//! let mut plan = ElasticPlan::for_task(&task, SimDuration::from_secs_f64(1e12));
+//! plan.checkpoint = CheckpointPolicy::Fixed(2);
+//! let dir = std::env::temp_dir().join(format!("dt-elastic-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let out = run_elastic(&task, 2, &plan, &dir).unwrap();
+//! assert_eq!(out.report.iterations.len(), 2);
+//! out.goodput.validate().unwrap();
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod goodput;
+pub mod policy;
+pub mod run;
+pub mod sim;
+pub mod stream;
+
+pub use goodput::GoodputReport;
+pub use policy::{checkpoint_bytes, interval_in_iterations, young_daly_interval, CheckpointPolicy, ElasticPlan};
+pub use run::{
+    run_elastic, run_elastic_traced, run_elastic_with, ElasticError, ElasticReport, FailureEvent,
+    PlanEpoch, RecoveryAction,
+};
+pub use sim::{exhaustive_best_interval, simulate_goodput, MachineConfig};
+pub use stream::{FailureStream, NodeFailure};

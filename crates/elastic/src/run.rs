@@ -1,0 +1,603 @@
+//! The elastic training driver: MTBF failures against a live run.
+//!
+//! [`run_elastic`] executes a training run under an [`ElasticPlan`]:
+//! iterations commit one at a time through the real
+//! [`Runtime`] data path, checkpoints go through
+//! the real [`CheckpointManager`], and node failures arrive from the
+//! seeded [`FailureStream`]. A failure rolls the run back to the newest
+//! durable checkpoint; a hot spare (if any remain) absorbs it in place,
+//! otherwise the cluster **shrinks** by the failed node's whole failure
+//! domain and the §4 orchestrator re-plans the survivors — trialing the
+//! naive proportional shrink alongside its own candidates, so the re-plan
+//! never does worse than just keeping the old ratios
+//! ([`TrainingTask::replan_shrunk`]).
+//!
+//! Everything is deterministic in `(task.seed, elastic.failure_seed)`:
+//! the committed history equals, bit for bit, an uninterrupted run of the
+//! same plan sequence — the tests assert it — and every wall-clock second
+//! lands in exactly one [`GoodputReport`] bucket.
+
+use crate::goodput::GoodputReport;
+use crate::policy::ElasticPlan;
+use crate::stream::FailureStream;
+use disttrain_core::{
+    CheckpointManager, IterationReport, Runtime, SystemKind, TrainingReport, TrainingState,
+    TrainingTask,
+};
+use dt_cluster::CollectiveCost;
+use dt_data::{GlobalBatch, SyntheticLaion};
+use dt_parallel::OrchestrationPlan;
+use dt_simengine::trace::{cat, TraceRecorder, TraceSpan};
+use dt_simengine::{SimDuration, SimTime};
+use std::path::Path;
+
+/// How a node failure was absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// A hot spare took over the failed node's slot; same cluster, same
+    /// plan.
+    SpareSwap,
+    /// No spare left: the cluster shrank and the orchestrator re-planned.
+    Shrink,
+}
+
+/// One survived node failure.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureEvent {
+    /// The failed node slot.
+    pub node: u32,
+    /// Failure instant on the simulated clock.
+    pub at: SimTime,
+    /// The iteration that was in flight when the node died.
+    pub iteration: u32,
+    /// Spare swap or shrink.
+    pub action: RecoveryAction,
+    /// The checkpointed iteration training resumed from.
+    pub resumed_from: u32,
+}
+
+/// One stretch of the run executed under a single plan. Iterations
+/// `[from_iteration, next epoch's from_iteration)` of the committed
+/// history ran on `plan` over a cluster of `nodes` nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanEpoch {
+    /// First committed iteration of this epoch.
+    pub from_iteration: u32,
+    /// Cluster size (nodes) during the epoch.
+    pub nodes: u32,
+    /// The plan in force.
+    pub plan: OrchestrationPlan,
+    /// Checkpoint cadence (iterations) the policy chose for this epoch.
+    pub checkpoint_interval: u32,
+}
+
+/// Outcome of an elastic run.
+#[derive(Debug, Clone)]
+pub struct ElasticReport {
+    /// Every committed iteration in final order (length = requested).
+    pub report: TrainingReport,
+    /// The plan sequence (first epoch is the pre-failure plan).
+    pub epochs: Vec<PlanEpoch>,
+    /// Every failure, in order.
+    pub failures: Vec<FailureEvent>,
+    /// Where the wall clock went.
+    pub goodput: GoodputReport,
+}
+
+impl ElasticReport {
+    /// Mean MFU of the committed iterations of each epoch — the "MFU
+    /// delta vs the pre-failure plan" is `epoch_mfus()[k] -
+    /// epoch_mfus()[0]`.
+    pub fn epoch_mfus(&self) -> Vec<f64> {
+        let peak = self.report.peak_flops_per_gpu;
+        let n = self.report.iterations.len() as u32;
+        let mut out = Vec::with_capacity(self.epochs.len());
+        for (k, e) in self.epochs.iter().enumerate() {
+            let end = self.epochs.get(k + 1).map_or(n, |nx| nx.from_iteration);
+            let slice = &self.report.iterations
+                [e.from_iteration.min(n) as usize..end.min(n) as usize];
+            let mfu = if slice.is_empty() {
+                0.0
+            } else {
+                slice.iter().map(|i| i.mfu(peak)).sum::<f64>() / slice.len() as f64
+            };
+            out.push(mfu);
+        }
+        out
+    }
+}
+
+/// Elastic-run failure modes.
+#[derive(Debug)]
+pub enum ElasticError {
+    /// Checkpoint I/O failed.
+    Io(std::io::Error),
+    /// No feasible plan exists (initially, or for the shrunken cluster).
+    Infeasible(String),
+}
+
+impl From<std::io::Error> for ElasticError {
+    fn from(e: std::io::Error) -> Self {
+        ElasticError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ElasticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElasticError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            ElasticError::Infeasible(why) => write!(f, "no feasible plan: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ElasticError {}
+
+/// Wall clock with degraded-time attribution.
+struct Wall {
+    now: SimTime,
+    degraded: bool,
+    degraded_total: SimDuration,
+}
+
+impl Wall {
+    fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+        if self.degraded {
+            self.degraded_total += d;
+        }
+    }
+}
+
+/// Run `iterations` elastically, planning the initial configuration with
+/// the DistTrain orchestrator.
+pub fn run_elastic(
+    task: &TrainingTask,
+    iterations: u32,
+    elastic: &ElasticPlan,
+    ckpt_dir: &Path,
+) -> Result<ElasticReport, ElasticError> {
+    run_elastic_traced(task, iterations, elastic, ckpt_dir, &mut TraceRecorder::disabled())
+}
+
+/// [`run_elastic`] with span emission: committed iterations trace through
+/// the runtime as usual; checkpoints appear on `tid 1` and the elastic
+/// machinery (failure / recovery / re-orchestration) on `tid 2` of the
+/// trainer process, so a Chrome-trace view shows exactly when the run
+/// bled time to faults.
+pub fn run_elastic_traced(
+    task: &TrainingTask,
+    iterations: u32,
+    elastic: &ElasticPlan,
+    ckpt_dir: &Path,
+    rec: &mut TraceRecorder,
+) -> Result<ElasticReport, ElasticError> {
+    let plan = task
+        .plan(SystemKind::DistTrain)
+        .ok_or_else(|| ElasticError::Infeasible("initial cluster".into()))?;
+    run_elastic_with(task, iterations, elastic, plan, ckpt_dir, rec)
+}
+
+/// [`run_elastic_traced`] with a caller-chosen initial plan (sweeps plan
+/// once and reuse it across cells).
+pub fn run_elastic_with(
+    task: &TrainingTask,
+    iterations: u32,
+    elastic: &ElasticPlan,
+    initial_plan: OrchestrationPlan,
+    ckpt_dir: &Path,
+    rec: &mut TraceRecorder,
+) -> Result<ElasticReport, ElasticError> {
+    let initial_nodes = task.cluster.num_nodes;
+    let mut stream = FailureStream::new(initial_nodes, elastic.node_mtbf, elastic.failure_seed);
+    let mut spares_left = elastic.spare_nodes;
+    let mut mgr = CheckpointManager::new(ckpt_dir)?;
+
+    let mut cur_task = task.clone();
+    let mut cur_plan = initial_plan;
+    let trainer_pid = u64::from(initial_plan.backbone.dp);
+
+    let mut committed: Vec<IterationReport> = Vec::with_capacity(iterations as usize);
+    let mut epochs: Vec<PlanEpoch> = Vec::new();
+    let mut failures: Vec<FailureEvent> = Vec::new();
+    let mut g = GoodputReport::default();
+    let mut wall = Wall { now: SimTime::ZERO, degraded: false, degraded_total: SimDuration::ZERO };
+    let mut it = 0u32;
+
+    while it < iterations {
+        // One plan epoch: bind the runtime to the current cluster + plan
+        // and step iterations until the run finishes or a shrink forces a
+        // re-bind. The block returns `Some(next)` on shrink.
+        let pending: Option<(TrainingTask, OrchestrationPlan)> = {
+            let runtime = Runtime {
+                model: &cur_task.model,
+                cluster: &cur_task.cluster,
+                plan: cur_plan,
+                data: cur_task.data.clone(),
+                cfg: cur_task.runtime_config(SystemKind::DistTrain, iterations),
+            };
+            let coll = CollectiveCost::new(runtime.cluster.clone());
+            let perf = runtime.perf_model(&coll);
+            let planner = runtime.planner_for(&perf);
+            let bs = runtime.cfg.global_batch as usize;
+            let batch_for = |iteration: u32| -> GlobalBatch {
+                let mut gen = SyntheticLaion::new(runtime.data.clone(), runtime.cfg.seed);
+                for _ in 0..iteration {
+                    let _ = gen.take(bs);
+                }
+                GlobalBatch::new(planner.reorder(gen.take(bs)))
+            };
+
+            // The policy's cadence for this epoch, from a cost-model query
+            // of the epoch's first iteration (queries don't advance the
+            // wall clock).
+            let iter_est = runtime.simulate_iteration(&perf, &batch_for(it)).iter_time;
+            let interval = elastic.checkpoint.interval(
+                elastic.checkpoint_cost,
+                elastic.node_mtbf,
+                stream.active(),
+                iter_est,
+            );
+            epochs.push(PlanEpoch {
+                from_iteration: it,
+                nodes: cur_task.cluster.num_nodes,
+                plan: cur_plan,
+                checkpoint_interval: interval,
+            });
+
+            let mut next: Option<(TrainingTask, OrchestrationPlan)> = None;
+            while it < iterations {
+                let batch = batch_for(it);
+                let report = runtime.simulate_iteration(&perf, &batch);
+                let iter_end = wall.now + report.iter_time;
+
+                let hit = stream.peek().filter(|f| f.at < iter_end);
+                if let Some(f) = hit {
+                    stream.pop();
+                    // The in-flight partial burns down as lost time (zero
+                    // if the failure instant predates this iteration, i.e.
+                    // it struck during an overhead window we already
+                    // charged elsewhere).
+                    let partial =
+                        if f.at > wall.now { f.at - wall.now } else { SimDuration::ZERO };
+                    if rec.is_enabled() {
+                        rec.record(TraceSpan::new(
+                            format!("failure@{it}:node{}", f.node),
+                            cat::FAILURE,
+                            trainer_pid,
+                            2,
+                            SimTime::ZERO,
+                            partial,
+                        ));
+                    }
+                    wall.advance(partial);
+                    g.lost += partial;
+                    g.failures += 1;
+
+                    // Roll back to the newest durable checkpoint: the
+                    // committed-but-unsaved iterations become lost work.
+                    mgr.wait()?;
+                    let state = CheckpointManager::recover(ckpt_dir)?;
+                    let resume_at = state.map_or(0, |s: TrainingState| s.iteration);
+                    for r in committed.drain(resume_at as usize..) {
+                        g.committed -= r.iter_time;
+                        g.lost += r.iter_time;
+                    }
+
+                    wall.advance(elastic.restart_overhead);
+                    g.restart += elastic.restart_overhead;
+                    if rec.is_enabled() {
+                        rec.set_origin(rec.origin() + partial);
+                        rec.record(TraceSpan::new(
+                            format!("recovery@{it}->{resume_at}"),
+                            cat::RECOVERY,
+                            trainer_pid,
+                            2,
+                            SimTime::ZERO,
+                            elastic.restart_overhead,
+                        ));
+                        rec.set_origin(rec.origin() + elastic.restart_overhead);
+                    }
+
+                    let action = if spares_left > 0 {
+                        // A hot spare takes over the slot in place; the
+                        // slot's failure stream continues for the
+                        // replacement hardware.
+                        spares_left -= 1;
+                        RecoveryAction::SpareSwap
+                    } else {
+                        RecoveryAction::Shrink
+                    };
+                    failures.push(FailureEvent {
+                        node: f.node,
+                        at: f.at,
+                        iteration: it,
+                        action,
+                        resumed_from: resume_at,
+                    });
+                    it = resume_at;
+
+                    if action == RecoveryAction::Shrink {
+                        g.shrinks += 1;
+                        stream.retire(f.node);
+                        let shrunk = cur_task
+                            .shrunk(1)
+                            .ok_or_else(|| ElasticError::Infeasible("no node left".into()))?;
+                        let new_plan = shrunk.replan_shrunk(&cur_plan).ok_or_else(|| {
+                            ElasticError::Infeasible(format!(
+                                "no plan for {} nodes",
+                                shrunk.cluster.num_nodes
+                            ))
+                        })?;
+                        // Migrating state onto the re-sharded plan costs
+                        // checkpoint-bytes over the RDMA fabric.
+                        wall.advance(elastic.reshard_cost);
+                        g.reshard += elastic.reshard_cost;
+                        wall.degraded = true;
+                        if rec.is_enabled() {
+                            rec.record(TraceSpan::new(
+                                format!("reorch@{resume_at}:nodes{}", shrunk.cluster.num_nodes),
+                                cat::REORCH,
+                                trainer_pid,
+                                2,
+                                SimTime::ZERO,
+                                elastic.reshard_cost,
+                            ));
+                            rec.set_origin(rec.origin() + elastic.reshard_cost);
+                        }
+                        // Epochs that committed nothing durable vanish
+                        // from the final history.
+                        while epochs.last().is_some_and(|e| e.from_iteration >= resume_at) {
+                            epochs.pop();
+                        }
+                        next = Some((shrunk, new_plan));
+                        break;
+                    }
+                    continue;
+                }
+
+                // Commit. In traced mode re-simulate with span emission —
+                // the data path is deterministic, so the traced pass is
+                // identical to the decision pass above.
+                if rec.is_enabled() {
+                    let traced = runtime.simulate_iteration_traced(&perf, &batch, rec);
+                    debug_assert_eq!(traced.iter_time, report.iter_time);
+                    rec.set_origin(rec.origin() + report.iter_time);
+                }
+                wall.advance(report.iter_time);
+                g.committed += report.iter_time;
+                committed.push(report);
+                it += 1;
+
+                if it.is_multiple_of(interval) {
+                    mgr.save_async(&TrainingState {
+                        iteration: it,
+                        plan: cur_plan,
+                        seed: runtime.cfg.seed,
+                    })?;
+                    wall.advance(elastic.checkpoint_cost);
+                    g.checkpoint += elastic.checkpoint_cost;
+                    g.checkpoints += 1;
+                    if rec.is_enabled() {
+                        rec.record(TraceSpan::new(
+                            format!("checkpoint@{it}"),
+                            cat::CHECKPOINT,
+                            trainer_pid,
+                            1,
+                            SimTime::ZERO,
+                            elastic.checkpoint_cost,
+                        ));
+                        rec.set_origin(rec.origin() + elastic.checkpoint_cost);
+                    }
+                }
+            }
+            next
+        };
+        if let Some((shrunk, new_plan)) = pending {
+            cur_task = shrunk;
+            cur_plan = new_plan;
+        }
+    }
+    mgr.wait()?;
+
+    g.total_wall = wall.now - SimTime::ZERO;
+    g.degraded = wall.degraded_total;
+    let peak = task.cluster.node.gpu.peak_flops;
+    Ok(ElasticReport {
+        report: TrainingReport { iterations: committed, peak_flops_per_gpu: peak },
+        epochs,
+        failures,
+        goodput: g,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::CheckpointPolicy;
+    use disttrain_core::RuntimeConfig;
+    use dt_model::MllmPreset;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dt-elastic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    /// An elastic scenario harsh enough to exhaust the single spare and
+    /// shrink the 12-node ablation cluster within a short run.
+    fn harsh_plan() -> ElasticPlan {
+        ElasticPlan {
+            node_mtbf: secs(250.0),
+            failure_seed: 5,
+            spare_nodes: 1,
+            checkpoint: CheckpointPolicy::Fixed(2),
+            checkpoint_cost: secs(1.0),
+            restart_overhead: secs(5.0),
+            reshard_cost: secs(3.0),
+        }
+    }
+
+    fn ablation_task() -> TrainingTask {
+        TrainingTask::ablation(MllmPreset::Mllm9B.build(), 32)
+    }
+
+    /// The reference: iteration `i` simulated fresh on `(task, plan)` with
+    /// the driver's exact batch derivation.
+    fn reference_iteration(
+        task: &TrainingTask,
+        plan: OrchestrationPlan,
+        iterations: u32,
+        i: u32,
+    ) -> IterationReport {
+        let runtime = Runtime {
+            model: &task.model,
+            cluster: &task.cluster,
+            plan,
+            data: task.data.clone(),
+            cfg: task.runtime_config(SystemKind::DistTrain, iterations),
+        };
+        let coll = CollectiveCost::new(task.cluster.clone());
+        let perf = runtime.perf_model(&coll);
+        let planner = runtime.planner_for(&perf);
+        let bs = runtime.cfg.global_batch as usize;
+        let mut gen = SyntheticLaion::new(runtime.data.clone(), runtime.cfg.seed);
+        for _ in 0..i {
+            let _ = gen.take(bs);
+        }
+        let batch = GlobalBatch::new(planner.reorder(gen.take(bs)));
+        runtime.simulate_iteration(&perf, &batch)
+    }
+
+    /// The headline acceptance test: a deterministic multi-failure run —
+    /// several node failures, the spare pool exhausted at least once —
+    /// commits exactly the requested iterations, and every committed
+    /// iteration is bit-identical to an uninterrupted run of the same plan
+    /// sequence.
+    #[test]
+    fn multi_failure_run_commits_a_bit_identical_history() {
+        let task = ablation_task();
+        let elastic = harsh_plan();
+        let iterations = 10u32;
+        let dir = tempdir("multi");
+        let out = run_elastic(&task, iterations, &elastic, &dir).unwrap();
+
+        assert_eq!(out.report.iterations.len(), iterations as usize);
+        assert!(
+            out.goodput.failures >= 3,
+            "scenario must survive ≥3 failures, got {}",
+            out.goodput.failures
+        );
+        assert!(out.goodput.shrinks >= 1, "the single spare must run out");
+        assert!(
+            out.failures.iter().any(|f| f.action == RecoveryAction::SpareSwap),
+            "the spare must absorb the first failure"
+        );
+        assert!(out.epochs.len() >= 2, "a shrink opens a new plan epoch");
+        assert!(out.epochs[1].nodes < out.epochs[0].nodes);
+        out.goodput.validate().unwrap();
+        assert!(out.goodput.degraded > SimDuration::ZERO, "post-shrink time is degraded");
+        assert!(out.goodput.lost > SimDuration::ZERO);
+
+        // Bit-identical committed history: replay each epoch's iterations
+        // on a fresh runtime bound to that epoch's cluster + plan.
+        let n = out.report.iterations.len() as u32;
+        for (k, e) in out.epochs.iter().enumerate() {
+            let end = out.epochs.get(k + 1).map_or(n, |nx| nx.from_iteration);
+            let epoch_task = task.shrunk(task.cluster.num_nodes - e.nodes).unwrap();
+            for i in e.from_iteration..end {
+                let reference = reference_iteration(&epoch_task, e.plan, iterations, i);
+                let got = out.report.iterations[i as usize];
+                assert_eq!(got.iter_time, reference.iter_time, "iteration {i} (epoch {k})");
+                assert_eq!(got.model_flops, reference.model_flops, "iteration {i}");
+                assert_eq!(got.gpus, reference.gpus, "iteration {i}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn elastic_run_is_deterministic() {
+        let task = ablation_task();
+        let elastic = harsh_plan();
+        let d1 = tempdir("det1");
+        let d2 = tempdir("det2");
+        let a = run_elastic(&task, 6, &elastic, &d1).unwrap();
+        let b = run_elastic(&task, 6, &elastic, &d2).unwrap();
+        assert_eq!(a.goodput, b.goodput);
+        assert_eq!(a.failures.len(), b.failures.len());
+        for (x, y) in a.failures.iter().zip(&b.failures) {
+            assert_eq!((x.node, x.at, x.iteration, x.action), (y.node, y.at, y.iteration, y.action));
+        }
+        std::fs::remove_dir_all(&d1).unwrap();
+        std::fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn quiet_cluster_matches_a_plain_run() {
+        // With an (effectively) infinite MTBF the elastic driver reduces
+        // to the plain runtime plus checkpoint writes.
+        let task = ablation_task();
+        let mut elastic = harsh_plan();
+        elastic.node_mtbf = secs(1e12);
+        let dir = tempdir("quiet");
+        let iterations = 4u32;
+        let out = run_elastic(&task, iterations, &elastic, &dir).unwrap();
+        assert_eq!(out.goodput.failures, 0);
+        assert_eq!(out.epochs.len(), 1);
+        assert_eq!(out.goodput.degraded, SimDuration::ZERO);
+
+        let plan = task.plan(SystemKind::DistTrain).unwrap();
+        let plain = task
+            .run_with_plan(plan, RuntimeConfig::disttrain(32, iterations))
+            .unwrap();
+        for (a, b) in out.report.iterations.iter().zip(&plain.iterations) {
+            assert_eq!(a.iter_time, b.iter_time);
+            assert_eq!(a.model_flops, b.model_flops);
+        }
+        out.goodput.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn traced_run_emits_failure_recovery_and_reorch_spans() {
+        let task = ablation_task();
+        let elastic = harsh_plan();
+        let dir = tempdir("spans");
+        let mut rec = TraceRecorder::enabled();
+        let out = run_elastic_traced(&task, 10, &elastic, &dir, &mut rec).unwrap();
+        assert!(out.goodput.shrinks >= 1, "need a shrink for a reorch span");
+        for c in [cat::FAILURE, cat::RECOVERY, cat::REORCH, cat::CHECKPOINT] {
+            assert!(
+                rec.spans().iter().any(|s| s.cat == c),
+                "missing a `{c}` span in the elastic trace"
+            );
+        }
+        // Recovery spans carry the restart overhead; reorch the re-shard.
+        let rcv = rec.spans().iter().find(|s| s.cat == cat::RECOVERY).unwrap();
+        assert_eq!(rcv.dur, elastic.restart_overhead);
+        let ro = rec.spans().iter().find(|s| s.cat == cat::REORCH).unwrap();
+        assert_eq!(ro.dur, elastic.reshard_cost);
+        rec.validate_nesting().expect("elastic spans stay disjoint per track");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn young_daly_policy_picks_a_sane_cadence() {
+        let task = ablation_task();
+        let mut elastic = ElasticPlan::for_task(&task, secs(200_000.0));
+        elastic.checkpoint = CheckpointPolicy::YoungDaly;
+        let dir = tempdir("yd");
+        let out = run_elastic(&task, 3, &elastic, &dir).unwrap();
+        let interval = out.epochs[0].checkpoint_interval;
+        assert!(interval >= 1, "YD cadence must be at least one iteration");
+        out.goodput.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+

@@ -1,0 +1,258 @@
+//! Discrete-event checkpoint–restart machine, and the exhaustive
+//! checkpoint-interval search that validates Young–Daly.
+//!
+//! The machine is the textbook abstraction the Young–Daly formula is
+//! derived for: a fixed-rate worker (one iteration per `iter_time`),
+//! synchronous checkpoints every `checkpoint_interval` iterations costing
+//! `checkpoint_cost`, and a Poisson failure process (the
+//! [`FailureStream`]) that throws the worker back to its last durable
+//! checkpoint and charges `restart_overhead`. It runs on the
+//! [`Simulator`] event queue: iteration
+//! completions, restart completions, and failures are events; in-flight
+//! work is invalidated by an epoch counter (the queue has no cancel API —
+//! stale events simply no-op).
+//!
+//! [`exhaustive_best_interval`] grid-searches the interval over this
+//! machine, which is how the repo *proves* (in a test, not a doc claim)
+//! that `√(2·C·M)` lands within one grid step of the simulated optimum.
+
+use crate::goodput::GoodputReport;
+use crate::stream::FailureStream;
+use dt_simengine::{SimDuration, SimTime, Simulator};
+
+/// The checkpoint–restart machine description.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Iterations the run must commit.
+    pub iterations: u32,
+    /// Fixed cost of one iteration.
+    pub iter_time: SimDuration,
+    /// Synchronous cost of one checkpoint write.
+    pub checkpoint_cost: SimDuration,
+    /// Checkpoint cadence in iterations.
+    pub checkpoint_interval: u32,
+    /// Cost of detection + reschedule + reload after a failure.
+    pub restart_overhead: SimDuration,
+    /// Failure domains (nodes); any one failing restarts the machine.
+    pub nodes: u32,
+    /// Per-node MTBF.
+    pub node_mtbf: SimDuration,
+    /// Failure-stream seed.
+    pub failure_seed: u64,
+}
+
+struct Machine {
+    cfg: MachineConfig,
+    stream: FailureStream,
+    /// Committed iterations.
+    done: u32,
+    /// Iteration of the newest durable checkpoint.
+    ckpt_iter: u32,
+    /// Bumped on every failure; in-flight progress events from older
+    /// epochs are stale and must no-op.
+    epoch: u64,
+    /// Completion instant of the last progress event (iteration or
+    /// restart); the span since then is the in-flight work a failure
+    /// destroys.
+    last_progress: SimTime,
+    acc: GoodputReport,
+    finished_at: Option<SimTime>,
+}
+
+fn schedule_iteration(sim: &mut Simulator<Machine>, m: &Machine) {
+    if m.done >= m.cfg.iterations {
+        return;
+    }
+    let writes = (m.done + 1).is_multiple_of(m.cfg.checkpoint_interval.max(1));
+    let dur = if writes { m.cfg.iter_time + m.cfg.checkpoint_cost } else { m.cfg.iter_time };
+    let epoch = m.epoch;
+    sim.schedule_in(dur, move |sim, m: &mut Machine| {
+        if m.epoch != epoch {
+            return; // destroyed by a failure mid-flight
+        }
+        m.done += 1;
+        m.acc.committed += m.cfg.iter_time;
+        if writes {
+            m.acc.checkpoint += m.cfg.checkpoint_cost;
+            m.acc.checkpoints += 1;
+            m.ckpt_iter = m.done;
+        }
+        m.last_progress = sim.now();
+        if m.done >= m.cfg.iterations {
+            m.finished_at = Some(sim.now());
+        } else {
+            schedule_iteration(sim, m);
+        }
+    });
+}
+
+fn schedule_next_failure(sim: &mut Simulator<Machine>, m: &Machine) {
+    if let Some(f) = m.stream.peek() {
+        sim.schedule_at(f.at, move |sim, m: &mut Machine| {
+            m.stream.pop();
+            if m.finished_at.is_some() {
+                return; // run already over; let the queue drain
+            }
+            // Roll back to the durable checkpoint: committed-but-unsaved
+            // iterations and the in-flight partial both become lost work.
+            let rolled = m.cfg.iter_time * u64::from(m.done - m.ckpt_iter);
+            m.acc.committed -= rolled;
+            m.acc.lost += rolled;
+            m.acc.lost += sim.now() - m.last_progress;
+            m.done = m.ckpt_iter;
+            m.acc.failures += 1;
+            m.epoch += 1;
+            m.last_progress = sim.now();
+            let epoch = m.epoch;
+            sim.schedule_in(m.cfg.restart_overhead, move |sim, m: &mut Machine| {
+                if m.epoch != epoch {
+                    return; // a second failure struck during restart
+                }
+                m.acc.restart += m.cfg.restart_overhead;
+                m.last_progress = sim.now();
+                schedule_iteration(sim, m);
+            });
+            schedule_next_failure(sim, m);
+        });
+    }
+}
+
+/// Run the machine to completion and account for every wall-clock second.
+pub fn simulate_goodput(cfg: &MachineConfig) -> GoodputReport {
+    let mut m = Machine {
+        cfg: *cfg,
+        stream: FailureStream::new(cfg.nodes, cfg.node_mtbf, cfg.failure_seed),
+        done: 0,
+        ckpt_iter: 0,
+        epoch: 0,
+        last_progress: SimTime::ZERO,
+        acc: GoodputReport::default(),
+        finished_at: None,
+    };
+    let mut sim = Simulator::new();
+    schedule_iteration(&mut sim, &m);
+    schedule_next_failure(&mut sim, &m);
+    sim.run(&mut m);
+    let end = m.finished_at.expect("the machine always finishes");
+    m.acc.total_wall = end - SimTime::ZERO;
+    m.acc
+}
+
+/// Exhaustively search `grid` (checkpoint intervals in iterations) on the
+/// simulator, averaging goodput over `seeds` independent failure
+/// timelines, and return the interval with the highest mean goodput.
+pub fn exhaustive_best_interval(cfg: &MachineConfig, grid: &[u32], seeds: &[u64]) -> u32 {
+    assert!(!grid.is_empty() && !seeds.is_empty());
+    let mut best = (f64::NEG_INFINITY, grid[0]);
+    for &interval in grid {
+        let mut total = 0.0;
+        for &seed in seeds {
+            let mut c = *cfg;
+            c.checkpoint_interval = interval;
+            c.failure_seed = seed;
+            total += simulate_goodput(&c).goodput();
+        }
+        let mean = total / seeds.len() as f64;
+        if mean > best.0 {
+            best = (mean, interval);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{interval_in_iterations, young_daly_interval};
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    fn cfg() -> MachineConfig {
+        MachineConfig {
+            iterations: 2_000,
+            iter_time: secs(1.0),
+            checkpoint_cost: secs(25.0),
+            checkpoint_interval: 400,
+            restart_overhead: secs(60.0),
+            nodes: 16,
+            node_mtbf: secs(50_000.0),
+            failure_seed: 1,
+        }
+    }
+
+    #[test]
+    fn accounting_partitions_the_wall_clock() {
+        for seed in 0..20 {
+            let mut c = cfg();
+            c.failure_seed = seed;
+            let g = simulate_goodput(&c);
+            g.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(g.committed, secs(2_000.0), "seed {seed}: exactly N iterations commit");
+            assert!(g.goodput() > 0.0 && g.goodput() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn no_failures_means_no_lost_time() {
+        let mut c = cfg();
+        c.node_mtbf = secs(1e12); // failures effectively never
+        let g = simulate_goodput(&c);
+        assert_eq!(g.failures, 0);
+        assert_eq!(g.lost, SimDuration::ZERO);
+        assert_eq!(g.restart, SimDuration::ZERO);
+        assert_eq!(g.checkpoints, 5); // 2000 / 400
+        assert_eq!(g.total_wall, secs(2_000.0 + 5.0 * 25.0));
+    }
+
+    #[test]
+    fn failures_cost_lost_and_restart_time() {
+        let mut c = cfg();
+        c.iterations = 10_000;
+        let g = simulate_goodput(&c);
+        assert!(g.failures > 0, "10ks horizon at 3.1ks system MTBF must fail");
+        assert!(g.lost > SimDuration::ZERO);
+        assert!(g.restart >= c.restart_overhead);
+        assert!(g.goodput() < 1.0);
+        assert_eq!(g.committed, secs(10_000.0));
+    }
+
+    #[test]
+    fn tighter_checkpointing_bounds_lost_work() {
+        // With an interval of k iterations, each failure loses at most
+        // k·t + C plus the in-flight partial — verify the bound holds.
+        let mut c = cfg();
+        c.iterations = 8_000;
+        c.checkpoint_interval = 100;
+        let g = simulate_goodput(&c);
+        if g.failures > 0 {
+            let per_failure = g.lost.as_secs_f64() / f64::from(g.failures);
+            let bound = 100.0 * 1.0 + 25.0 + 60.0; // k·t + C + in-flight restart
+            assert!(per_failure <= bound, "mean lost/failure {per_failure:.1}s > {bound}s");
+        }
+    }
+
+    /// The acceptance-criteria test: the Young–Daly analytic interval lands
+    /// within one grid step of the simulator's exhaustive optimum.
+    #[test]
+    fn young_daly_matches_exhaustive_search() {
+        let c = cfg(); // C=25s, M=50_000/16=3125s → τ* = √(2·25·3125) ≈ 395s
+        let mut base = c;
+        base.iterations = 20_000;
+        let step = 100u32;
+        let grid: Vec<u32> = (1..=12).map(|k| k * step).collect();
+        let seeds: Vec<u64> = (0..6).collect();
+        let best = exhaustive_best_interval(&base, &grid, &seeds);
+        let yd = interval_in_iterations(
+            young_daly_interval(base.checkpoint_cost, base.node_mtbf, base.nodes),
+            base.iter_time,
+        );
+        assert!((380..=410).contains(&yd), "analytic YD ≈ 395, got {yd}");
+        let diff = yd.abs_diff(best);
+        assert!(
+            diff <= step,
+            "Young–Daly {yd} vs exhaustive optimum {best}: off by {diff} > one grid step {step}"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-node exponential MTBF failure streams.
+//!
+//! §3 motivates automatic recovery with week-long production runs on 1296
+//! GPUs; at that scale node failures are a process, not an event. Each node
+//! slot draws independent exponential inter-failure gaps (memoryless, the
+//! standard MTBF model) from its own forked [`DetRng`] stream, so the
+//! failure timeline of node `k` never changes when other nodes' draws are
+//! consumed — multi-failure timelines over thousands of iterations are
+//! bit-reproducible from `(nodes, mtbf, seed)` alone.
+//!
+//! The *slot* abstraction matches how elastic recovery works: when failed
+//! hardware is replaced by a spare, the slot lives on (its next failure is
+//! drawn for the replacement machine); when the cluster shrinks instead,
+//! the slot is [retired](FailureStream::retire) and fires no more.
+
+use dt_simengine::{DetRng, SimDuration, SimTime};
+
+/// One node failure on the simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFailure {
+    /// The node slot that failed (all its GPUs die together; the failure
+    /// domain comes from `dt_cluster::ClusterSpec::gpus_of_node`).
+    pub node: u32,
+    /// When it failed.
+    pub at: SimTime,
+}
+
+struct Slot {
+    rng: DetRng,
+    /// Next failure instant; `None` once the slot is retired.
+    next: Option<SimTime>,
+}
+
+/// A deterministic multi-node failure timeline.
+pub struct FailureStream {
+    slots: Vec<Slot>,
+    mtbf_secs: f64,
+}
+
+impl FailureStream {
+    /// Build the timeline for `nodes` node slots with the given per-node
+    /// MTBF. Each slot's stream is forked from `seed` by its index.
+    pub fn new(nodes: u32, node_mtbf: SimDuration, seed: u64) -> Self {
+        let mtbf_secs = node_mtbf.as_secs_f64().max(1e-9);
+        let mut root = DetRng::new(seed);
+        let slots = (0..nodes)
+            .map(|n| {
+                let mut rng = root.fork(u64::from(n));
+                let gap = rng.exponential(mtbf_secs);
+                Slot { rng, next: Some(SimTime::ZERO + SimDuration::from_secs_f64(gap)) }
+            })
+            .collect();
+        FailureStream { slots, mtbf_secs }
+    }
+
+    /// The next failure across all live slots (earliest time, ties broken
+    /// towards the lowest node index), without consuming it.
+    pub fn peek(&self) -> Option<NodeFailure> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(n, s)| s.next.map(|at| NodeFailure { node: n as u32, at }))
+            .min_by_key(|f| (f.at, f.node))
+    }
+
+    /// Consume the next failure. The failed slot draws its following
+    /// failure immediately — replacement hardware (a spare) inherits the
+    /// slot and its stream, so consuming here is correct for both the
+    /// spare-swap and the shrink path (shrink additionally
+    /// [retires](FailureStream::retire) the slot).
+    pub fn pop(&mut self) -> Option<NodeFailure> {
+        let f = self.peek()?;
+        let slot = &mut self.slots[f.node as usize];
+        let gap = slot.rng.exponential(self.mtbf_secs);
+        slot.next = Some(f.at + SimDuration::from_secs_f64(gap));
+        Some(f)
+    }
+
+    /// Permanently remove a slot (the cluster shrank; nothing occupies the
+    /// slot any more).
+    pub fn retire(&mut self, node: u32) {
+        if let Some(slot) = self.slots.get_mut(node as usize) {
+            slot.next = None;
+        }
+    }
+
+    /// Live (non-retired) slots.
+    pub fn active(&self) -> u32 {
+        self.slots.iter().filter(|s| s.next.is_some()).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn timeline_is_deterministic() {
+        let mut a = FailureStream::new(8, secs(1000.0), 7);
+        let mut b = FailureStream::new(8, secs(1000.0), 7);
+        for _ in 0..50 {
+            assert_eq!(a.pop(), b.pop());
+        }
+    }
+
+    #[test]
+    fn failures_are_time_ordered() {
+        let mut s = FailureStream::new(16, secs(500.0), 3);
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            let f = s.pop().unwrap();
+            assert!(f.at >= last, "failures must be non-decreasing in time");
+            last = f.at;
+        }
+    }
+
+    #[test]
+    fn system_failure_rate_scales_with_nodes() {
+        // 16 nodes fail ~4× as often as 4 nodes at the same per-node MTBF.
+        let count_until = |nodes: u32, horizon: f64| {
+            let mut s = FailureStream::new(nodes, secs(1000.0), 11);
+            let mut n = 0;
+            while s.peek().unwrap().at < SimTime::ZERO + secs(horizon) {
+                s.pop();
+                n += 1;
+            }
+            n
+        };
+        let small = count_until(4, 50_000.0);
+        let large = count_until(16, 50_000.0);
+        let ratio = large as f64 / small as f64;
+        assert!((2.5..6.0).contains(&ratio), "rate ratio {ratio:.2} should be ≈4");
+    }
+
+    #[test]
+    fn per_slot_streams_are_independent() {
+        // Consuming another slot's failures never moves node 0's timeline.
+        let mut a = FailureStream::new(4, secs(1000.0), 5);
+        let mut b = FailureStream::new(4, secs(1000.0), 5);
+        // Drain everything but node 0 from `a` for a while.
+        for _ in 0..20 {
+            if a.peek().unwrap().node != 0 {
+                a.pop();
+            } else {
+                break;
+            }
+        }
+        let a0 = a.peek().filter(|f| f.node == 0).map(|f| f.at);
+        let b0 = loop {
+            let f = b.peek().unwrap();
+            if f.node == 0 {
+                break Some(f.at);
+            }
+            b.pop();
+        };
+        if let (Some(a0), Some(b0)) = (a0, b0) {
+            assert_eq!(a0, b0);
+        }
+    }
+
+    #[test]
+    fn retired_slots_never_fire() {
+        let mut s = FailureStream::new(3, secs(100.0), 1);
+        s.retire(0);
+        s.retire(2);
+        assert_eq!(s.active(), 1);
+        for _ in 0..50 {
+            assert_eq!(s.pop().unwrap().node, 1);
+        }
+        s.retire(1);
+        assert_eq!(s.active(), 0);
+        assert_eq!(s.peek(), None);
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn mean_gap_tracks_the_mtbf() {
+        let mut s = FailureStream::new(1, secs(250.0), 9);
+        let n = 2000;
+        let mut last = SimTime::ZERO;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let f = s.pop().unwrap();
+            total += (f.at - last).as_secs_f64();
+            last = f.at;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 250.0).abs() < 15.0, "mean gap {mean:.1}s vs MTBF 250s");
+    }
+}

@@ -17,7 +17,7 @@ use dt_model::{ModuleKind, MultimodalLlm};
 use dt_parallel::{ModulePlan, OrchestrationPlan};
 
 fn divisors_desc(n: u32) -> Vec<u32> {
-    let mut d: Vec<u32> = (1..=n).filter(|k| n % k == 0).collect();
+    let mut d: Vec<u32> = (1..=n).filter(|k| n.is_multiple_of(*k)).collect();
     d.sort_unstable_by(|a, b| b.cmp(a));
     d
 }
@@ -48,7 +48,7 @@ pub fn megatron_plan(spec: &ProblemSpec, model: &MultimodalLlm) -> Option<Orches
         .filter(|&pp| bb_mem.fits(spec.hbm_bytes, pp, tp, 1, spec.microbatch))
         .or_else(|| {
             let mut pps: Vec<u32> = (1..=model.backbone.layers)
-                .filter(|k| model.backbone.layers % k == 0)
+                .filter(|k| model.backbone.layers.is_multiple_of(*k))
                 .collect();
             pps.sort_unstable();
             pps.into_iter().find(|&pp| bb_mem.fits(spec.hbm_bytes, pp, tp, 1, spec.microbatch))
@@ -67,6 +67,80 @@ pub fn megatron_plan(spec: &ProblemSpec, model: &MultimodalLlm) -> Option<Orches
         generator: ModulePlan::replicated(tp, dp, 1),
         microbatch: spec.microbatch,
     })
+}
+
+/// The naive elastic-shrink baseline: keep the old plan's TP/PP choices and
+/// its (x, y, z) GPU *ratios*, scaled down to the degraded cluster — what a
+/// system without re-orchestration would do after losing nodes. Each module
+/// keeps its parallelism style; only DP widths shrink (the backbone DP to
+/// the largest batch divisor within its scaled share). Returns `None` when
+/// even the proportional shapes cannot fit.
+pub fn proportional_shrink_plan(
+    spec: &ProblemSpec,
+    model: &MultimodalLlm,
+    old: &OrchestrationPlan,
+) -> Option<OrchestrationPlan> {
+    let old_total = old.total_gpus();
+    if spec.total_gpus >= old_total {
+        return Some(*old);
+    }
+    let scale = spec.total_gpus as f64 / old_total as f64;
+
+    // Backbone: same TP and PP; DP shrinks to the largest global-batch
+    // divisor whose footprint fits the scaled backbone share.
+    let tp = old.backbone.tp;
+    let pp = old.backbone.pp;
+    let y_budget = (old.backbone.gpus() as f64 * scale).floor() as u32;
+    let bs_over_m = spec.global_batch / spec.microbatch.max(1);
+    let dp = divisors_desc(bs_over_m)
+        .into_iter()
+        .find(|&d| d * tp * pp <= y_budget)?;
+    let backbone = if old.backbone.sp {
+        ModulePlan::new(tp, dp, pp).with_sp()
+    } else {
+        ModulePlan::new(tp, dp, pp)
+    };
+
+    // Encoder/generator: same group width, DP scaled down (at least one
+    // group survives).
+    let shrink_small = |m: &ModulePlan| -> ModulePlan {
+        let dp = ((m.dp as f64 * scale).round() as u32).max(1);
+        ModulePlan { dp, ..*m }
+    };
+    let mut plan = OrchestrationPlan {
+        encoder: shrink_small(&old.encoder),
+        backbone,
+        generator: shrink_small(&old.generator),
+        microbatch: old.microbatch,
+    };
+    // Rounding can overshoot the budget; trim the widest small module.
+    while plan.total_gpus() > spec.total_gpus {
+        let (e, g) = (plan.encoder.gpus(), plan.generator.gpus());
+        if e >= g && plan.encoder.dp > 1 {
+            plan.encoder.dp -= 1;
+        } else if plan.generator.dp > 1 {
+            plan.generator.dp -= 1;
+        } else {
+            return None;
+        }
+    }
+    plan.validate(
+        spec.total_gpus,
+        spec.gpus_per_node,
+        spec.hbm_bytes,
+        model,
+        &dt_model::mllm::SampleShape {
+            text_tokens: model.seq_len / 2,
+            image_tokens: model.seq_len / 2,
+            num_images: 4,
+            gen_images: 1,
+            image_res: 512,
+            gen_res: model.gen_resolution,
+        },
+        spec.global_batch,
+    )
+    .ok()?;
+    Some(plan)
 }
 
 /// DistMM*'s FLOPs-proportional orchestration.
@@ -104,7 +178,7 @@ pub fn distmm_star_plan(
         let pp_budget = y_budget / (dp * tp);
         // Largest layer-divisor PP within budget that satisfies memory.
         let pp = (1..=model.backbone.layers)
-            .filter(|k| model.backbone.layers % k == 0 && *k <= pp_budget)
+            .filter(|k| model.backbone.layers.is_multiple_of(*k) && *k <= pp_budget)
             .filter(|&pp| bb_mem.fits(spec.hbm_bytes, pp, tp, dp, spec.microbatch))
             .max();
         if let Some(pp) = pp {
@@ -192,6 +266,38 @@ mod tests {
         // The 70B backbone dominates FLOPs → most GPUs.
         assert!(p.backbone.gpus() > p.encoder.gpus() + p.generator.gpus());
         assert!(p.total_gpus() <= 96);
+    }
+
+    #[test]
+    fn proportional_shrink_keeps_shapes_and_fits() {
+        let model = MllmPreset::Mllm9B.build();
+        let old = OrchestrationPlan {
+            encoder: ModulePlan::replicated(8, 2, 1),
+            backbone: ModulePlan::new(8, 8, 1).with_sp(),
+            generator: ModulePlan::replicated(8, 1, 1),
+            microbatch: 1,
+        };
+        // 96 → 88 GPUs (one node lost).
+        let p = proportional_shrink_plan(&spec(88, 128), &model, &old).unwrap();
+        assert!(p.total_gpus() <= 88);
+        assert_eq!(p.backbone.tp, old.backbone.tp, "naive shrink keeps TP");
+        assert_eq!(p.backbone.pp, old.backbone.pp, "naive shrink keeps PP");
+        assert!(p.backbone.dp <= old.backbone.dp);
+        assert_eq!(128 % p.backbone.dp, 0, "DP stays a batch divisor");
+        assert!(p.encoder.replicate_in_tp_group, "module styles survive");
+    }
+
+    #[test]
+    fn proportional_shrink_is_identity_without_loss() {
+        let model = MllmPreset::Mllm9B.build();
+        let old = OrchestrationPlan {
+            encoder: ModulePlan::replicated(8, 1, 1),
+            backbone: ModulePlan::new(8, 8, 1).with_sp(),
+            generator: ModulePlan::replicated(8, 1, 1),
+            microbatch: 1,
+        };
+        let p = proportional_shrink_plan(&spec(96, 128), &model, &old).unwrap();
+        assert_eq!(p, old);
     }
 
     #[test]

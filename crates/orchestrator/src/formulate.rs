@@ -86,7 +86,7 @@ impl Objective {
 /// the batch does not divide.
 pub fn microbatches(spec: &ProblemSpec, dp_lm: u32) -> Option<u32> {
     let denom = dp_lm * spec.microbatch;
-    if denom == 0 || spec.global_batch % denom != 0 {
+    if denom == 0 || !spec.global_batch.is_multiple_of(denom) {
         None
     } else {
         Some(spec.global_batch / denom)

@@ -47,7 +47,7 @@ pub struct PlanReport {
 }
 
 fn divisors(n: u32) -> Vec<u32> {
-    let mut d: Vec<u32> = (1..=n).filter(|k| n % k == 0).collect();
+    let mut d: Vec<u32> = (1..=n).filter(|k| n.is_multiple_of(*k)).collect();
     d.sort_unstable();
     d
 }
@@ -58,7 +58,7 @@ fn divisors(n: u32) -> Vec<u32> {
 /// across the GPUs within the TP group ... whereas TP itself is not used",
 /// §7.1); timing is identical, memory sharding differs slightly.
 fn small_module_plan(tp: u32, gpus: u32, gpus_per_node: u32) -> ModulePlan {
-    if tp == 1 && gpus % gpus_per_node == 0 && gpus >= gpus_per_node {
+    if tp == 1 && gpus.is_multiple_of(gpus_per_node) && gpus >= gpus_per_node {
         ModulePlan::replicated(gpus_per_node, gpus / gpus_per_node, 1)
     } else {
         ModulePlan::new(tp, gpus / tp, 1)
@@ -85,6 +85,23 @@ impl Orchestrator {
     /// Search with an existing profile (lets callers reuse trials).
     pub fn plan_with_profile(&self, model: &MultimodalLlm, profile: &TaskProfile) -> Option<PlanReport> {
         self.plan_candidates(model, profile, 1).into_iter().next()
+    }
+
+    /// Re-solve for a degraded cluster (§4.3 re-run after node failures):
+    /// the same problem with `remaining_gpus` instead of the original
+    /// budget. The profile is resolution-independent, so the failure-time
+    /// re-plan reuses the profile measured at job start — no re-profiling
+    /// on the critical recovery path.
+    pub fn replan_degraded(
+        &self,
+        model: &MultimodalLlm,
+        profile: &TaskProfile,
+        remaining_gpus: u32,
+        k: usize,
+    ) -> Vec<PlanReport> {
+        let mut shrunk = self.clone();
+        shrunk.spec.total_gpus = remaining_gpus;
+        shrunk.plan_candidates(model, profile, k)
     }
 
     /// The top `k` distinct validated plans in predicted-time order. The
@@ -281,6 +298,25 @@ mod tests {
         let a = plan_for(MllmPreset::Mllm15B, 96, 64);
         let b = plan_for(MllmPreset::Mllm15B, 96, 64);
         assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn degraded_replan_fits_the_smaller_cluster() {
+        let model = MllmPreset::Mllm9B.build();
+        let gpu = GpuSpec::ampere();
+        let coll = CollectiveCost::new(ClusterSpec::production(12));
+        let perf = PerfModel::new(&model, &gpu, &coll);
+        let mut data = SyntheticLaion::new(DataConfig::evaluation(model.gen_resolution), 17);
+        let samples = data.take(64);
+        let profile = crate::profiler::Profiler.profile(&perf, &samples);
+        let orch = Orchestrator::new(spec(96, 128));
+        let degraded = orch.replan_degraded(&model, &profile, 88, 3);
+        assert!(!degraded.is_empty(), "one lost node must still be plannable");
+        for r in &degraded {
+            assert!(r.plan.total_gpus() <= 88, "plan uses {} of 88 GPUs", r.plan.total_gpus());
+        }
+        // The original spec is untouched (replan clones).
+        assert_eq!(orch.spec.total_gpus, 96);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   granularity so the GPU efficiency ramp penalizes over-sharding
 //!   (doubling TP does *not* halve time — the §4.2 observation that equal
 //!   FLOPs can yield different times under different parallelism);
-//! * + TP communication: 2 allreduces of the layer output per layer in
+//! * plus TP communication: 2 allreduces of the layer output per layer in
 //!   forward, 2 in backward (Megatron linear-layer pattern), on NVLink.
 //!
 //! Replicated modules (TP group used as extra data parallelism) pay no TP
@@ -76,7 +76,7 @@ impl<'a> PerfModel<'a> {
             ModuleKind::Encoder => {
                 let trunk = &m.encoder.trunk;
                 let per_image = m.encoder.flops_forward_image(shape.image_res) / tp as f64;
-                let images = shape.num_images.max(0) as u64;
+                let images = shape.num_images as u64;
                 // Kernels: one fused region per layer per image.
                 let compute = self
                     .gpu

@@ -106,7 +106,7 @@ pub fn solve_inner(
         }
         if let Some(total) = eval(x, z) {
             let obj = objective(spec, profile, cand, x, y, z).expect("eval succeeded");
-            if best.map_or(true, |b| total < b.objective.total()) {
+            if best.is_none_or(|b| total < b.objective.total()) {
                 best = Some(Allocation { x, y, z, objective: obj });
             }
         }
@@ -169,7 +169,7 @@ pub fn solve_inner_brute(
         let z = ((remainder - x) / cand.tp_mg) * cand.tp_mg;
         if z >= cand.tp_mg {
             if let Some(obj) = objective(spec, profile, cand, x, y, z) {
-                if best.map_or(true, |b| obj.total() < b.objective.total()) {
+                if best.is_none_or(|b| obj.total() < b.objective.total()) {
                     best = Some(Allocation { x, y, z, objective: obj });
                 }
             }

@@ -90,7 +90,7 @@ impl ModulePlan {
         if !self.tp.is_power_of_two() {
             return Err(format!("TP {} not a power of two", self.tp));
         }
-        if self.ep == 0 || self.dp % self.ep != 0 {
+        if self.ep == 0 || !self.dp.is_multiple_of(self.ep) {
             return Err(format!("EP {} must divide DP {}", self.ep, self.dp));
         }
         if self.sp && self.tp == 1 {
@@ -190,7 +190,7 @@ impl OrchestrationPlan {
         if self.total_gpus() > total_gpus {
             return Err(format!("plan wants {} GPUs, cluster has {total_gpus}", self.total_gpus()));
         }
-        if global_batch % (self.backbone.dp * self.microbatch) != 0 {
+        if !global_batch.is_multiple_of(self.backbone.dp * self.microbatch) {
             return Err(format!(
                 "global batch {global_batch} not divisible by DP_lm×M = {}",
                 self.backbone.dp * self.microbatch

@@ -117,8 +117,8 @@ mod tests {
             for s in 0..4 {
                 let ops = sched.stage_order(s, 4, 7);
                 assert_eq!(ops.len(), 14);
-                let mut f = vec![0; 7];
-                let mut b = vec![0; 7];
+                let mut f = [0; 7];
+                let mut b = [0; 7];
                 for op in ops {
                     match op {
                         Fwd(i) => f[i] += 1,

@@ -46,7 +46,7 @@ impl ReorderPlanner {
         }
         let dp = self.dp.max(1) as usize;
         let m = self.microbatch.max(1) as usize;
-        if samples.len() % (dp * m) != 0 {
+        if !samples.len().is_multiple_of(dp * m) {
             // Misconfigured batch: refuse to reorder rather than corrupt
             // the DP split (the trainer validates divisibility anyway).
             return samples;

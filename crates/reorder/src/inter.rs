@@ -161,7 +161,7 @@ pub fn inter_reorder(cfg: &InterReorderConfig, mb_fwd: &[f64]) -> Vec<usize> {
         // undecided slots + the reserved rear.
         let mean = pool.iter().map(|&i| mb_fwd[i]).sum::<f64>() / pool.len() as f64;
         let mut est: Vec<f64> = ret.iter().map(|&i| mb_fwd[i]).collect();
-        est.extend(std::iter::repeat(mean).take(pool.len()));
+        est.extend(std::iter::repeat_n(mean, pool.len()));
         est.extend(rear.iter().map(|&i| mb_fwd[i]));
         // Forward at position `pos` executes inside interval `pos − p + 1`
         // (see `get_interval`); the first fill targets interval 0.

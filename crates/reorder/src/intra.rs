@@ -24,7 +24,7 @@ pub fn intra_reorder<T>(samples: Vec<T>, m: usize, size: impl Fn(&T) -> f64) -> 
     if m <= 1 || n == 0 {
         return samples;
     }
-    assert!(n % m == 0, "batch of {n} not divisible into {m} DP groups");
+    assert!(n.is_multiple_of(m), "batch of {n} not divisible into {m} DP groups");
     let quota = n / m;
 
     // Line 3: sort in descending order by size.
@@ -135,6 +135,7 @@ mod tests {
         let quota = sizes.len() / m;
         let mut best = f64::INFINITY;
         let mut assign = vec![0usize; sizes.len()];
+        #[allow(clippy::too_many_arguments)] // exhaustive-search helper threads all state explicitly
         fn rec(
             i: usize,
             sizes: &[f64],

@@ -36,6 +36,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, Simulator};
+pub use json::Json;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceRecorder, TraceSpan};

@@ -111,6 +111,14 @@ impl DetRng {
         (mu + sigma * self.normal()).exp()
     }
 
+    /// Exponential sample with the given mean (inverse-CDF over `1 − U` so
+    /// a zero draw never feeds `ln`). The memoryless distribution behind
+    /// per-node MTBF failure models: with mean `m`, inter-failure gaps
+    /// average `m` and compose into a Poisson process.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
     /// Zipf-like draw over ranks `1..=n` with exponent `alpha` using inverse
     /// CDF over precomputed weights. O(n) per call is fine for the modest n
     /// used by the data generator (images per sample).
@@ -201,6 +209,18 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut r = DetRng::new(19);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.exponential(3.0)).collect();
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        // Memoryless heavy tail: some draws well past the mean.
+        assert!(xs.iter().any(|&x| x > 9.0));
     }
 
     #[test]

@@ -70,6 +70,13 @@ pub mod cat {
     pub const PRE_DECODE: &str = "preprocess.decode";
     /// Preprocessing service: hand-off to the trainer (queue/feed).
     pub const PRE_FEED: &str = "preprocess.feed";
+    /// Node failure: the lost in-flight work up to the crash instant.
+    pub const FAILURE: &str = "elastic.failure";
+    /// Recovery: failure detection, rescheduling, checkpoint reload.
+    pub const RECOVERY: &str = "elastic.recovery";
+    /// Elastic re-orchestration: re-solving the §4 plan for a shrunk
+    /// cluster and re-sharding state onto it.
+    pub const REORCH: &str = "elastic.reorch";
 }
 
 /// One labelled interval on the trace clock.
@@ -161,7 +168,7 @@ impl TraceRecorder {
         let origin = self.origin;
         if let Some(spans) = &mut self.spans {
             let mut span = span;
-            span.start = span.start + origin.since(SimTime::ZERO);
+            span.start += origin.since(SimTime::ZERO);
             spans.push(span);
         }
     }

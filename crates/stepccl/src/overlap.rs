@@ -105,6 +105,7 @@ impl StepCclModel {
     /// of `backbone` at sequence length `seq`, TP size `tp`, microbatch
     /// `m_samples` — forward + backward, two collective pairs per layer per
     /// direction (attention and MLP outputs).
+    #[allow(clippy::too_many_arguments)] // mirrors the stage-call signature in dt-orchestrator
     pub fn stage_iteration(
         &self,
         backbone: &TransformerConfig,
@@ -120,6 +121,14 @@ impl StepCclModel {
         let layer_flops = backbone.flops_forward_layer(seq) * m as f64 / tp.max(1) as f64;
         let gemm_fwd = gpu.compute_time(layer_flops / 2.0) * 2; // attn + MLP halves
         let gemm_bwd = gemm_fwd * 2;
+        if tp <= 1 {
+            // A single-GPU "TP group" has no collectives to overlap (and
+            // no sharded layout to remap): StepCCL is exactly the
+            // baseline, not a spurious win or loss from modelling a
+            // 1-rank all-reduce.
+            let t = (gemm_fwd + gemm_bwd) * layers as u64;
+            return StageIteration { baseline: t, stepccl: t };
+        }
         // Per-pair collective volume: the s×h layer output.
         let bytes = backbone.tp_allreduce_bytes(seq) * m;
         let pair_comm = coll.time(CollectiveKind::AllReduce, tp, bytes, CommDomain::IntraNode);
@@ -208,6 +217,66 @@ mod tests {
             last = s;
         }
         assert!(last > 1.08, "TP=8 gain {last:.3} below the paper's band");
+    }
+
+    #[test]
+    fn zero_size_message_overlap_is_free() {
+        // A zero-byte collective: overlap adds nothing and exposes
+        // nothing, for any chunking.
+        for chunks in [1u32, 4, 16] {
+            let t = overlapped_time(d(300), SimDuration::ZERO, chunks, SimDuration::ZERO);
+            assert_eq!(t, d(300));
+        }
+        assert_eq!(sequential_time(d(300), SimDuration::ZERO), d(300));
+        // Degenerate both-zero case stays zero (no underflow, no panic).
+        assert_eq!(
+            overlapped_time(SimDuration::ZERO, SimDuration::ZERO, 4, SimDuration::ZERO),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn single_gpu_group_gets_no_stepccl_effect() {
+        // TP=1 has no collective: StepCCL must be exactly the baseline
+        // (speedup 1.0), not a spurious gain from a 1-rank all-reduce.
+        let model = StepCclModel::default();
+        let gpu = GpuSpec::ampere();
+        let coll = CollectiveCost::new(ClusterSpec::production(2));
+        let it = model.stage_iteration(&llama::llama3_13b(), &gpu, &coll, 4, 8192, 1, 1);
+        assert_eq!(it.baseline, it.stepccl);
+        assert_eq!(it.speedup(), 1.0);
+        assert!(!it.baseline.is_zero());
+        // And TP=1 compute is strictly more than one TP=2 shard's.
+        let tp2 = model.stage_iteration(&llama::llama3_13b(), &gpu, &coll, 4, 8192, 2, 1);
+        assert!(it.baseline > tp2.baseline);
+    }
+
+    #[test]
+    fn remap_hidden_fraction_is_clamped() {
+        // Out-of-range hidden fractions clamp to [0, 1] instead of
+        // producing negative (or more-than-full) remap time.
+        let gpu = GpuSpec::ampere();
+        let coll = CollectiveCost::new(ClusterSpec::production(2));
+        let bb = llama::llama3_13b();
+        let over = StepCclModel { remap_hidden_fraction: 1.7, ..StepCclModel::default() };
+        let all_hidden = StepCclModel { remap_hidden_fraction: 1.0, ..StepCclModel::default() };
+        assert_eq!(
+            over.stage_iteration(&bb, &gpu, &coll, 4, 8192, 4, 1).stepccl,
+            all_hidden.stage_iteration(&bb, &gpu, &coll, 4, 8192, 4, 1).stepccl,
+            ">1 must clamp to fully hidden"
+        );
+        let under = StepCclModel { remap_hidden_fraction: -0.3, ..StepCclModel::default() };
+        let none_hidden = StepCclModel { remap_hidden_fraction: 0.0, ..StepCclModel::default() };
+        assert_eq!(
+            under.stage_iteration(&bb, &gpu, &coll, 4, 8192, 4, 1).stepccl,
+            none_hidden.stage_iteration(&bb, &gpu, &coll, 4, 8192, 4, 1).stepccl,
+            "<0 must clamp to nothing hidden"
+        );
+        // The clamp is monotone: hiding more remap never slows the stage.
+        assert!(
+            all_hidden.stage_iteration(&bb, &gpu, &coll, 4, 8192, 4, 1).stepccl
+                <= none_hidden.stage_iteration(&bb, &gpu, &coll, 4, 8192, 4, 1).stepccl
+        );
     }
 
     /// Overlap never loses to sequential and never beats pure GEMM +

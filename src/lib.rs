@@ -52,7 +52,10 @@
 //! See the individual crates for the subsystem documentation:
 //! [`simengine`], [`cluster`], [`model`], [`data`], [`parallel`],
 //! [`pipeline`], [`reorder`], [`orchestrator`], [`preprocess`], [`stepccl`],
-//! and [`core`] (the DistTrain manager/runtime itself). Observability —
+//! [`core`] (the DistTrain manager/runtime itself), and [`elastic`]
+//! (fault-tolerant elastic training: MTBF failure streams, spare pools,
+//! shrink + re-orchestration, Young–Daly checkpointing, goodput
+//! accounting). Observability —
 //! span recording ([`simengine::trace`]), Chrome-trace export, per-module
 //! breakdowns — is documented in the README's *Observability* section and
 //! on [`core::Runtime::run_traced`].
@@ -60,6 +63,7 @@
 pub use disttrain_core as core;
 pub use dt_cluster as cluster;
 pub use dt_data as data;
+pub use dt_elastic as elastic;
 pub use dt_model as model;
 pub use dt_orchestrator as orchestrator;
 pub use dt_parallel as parallel;

@@ -30,7 +30,7 @@ fn check_plan(task: &TrainingTask, kind: SystemKind) {
     .unwrap_or_else(|e| panic!("{kind} produced an invalid plan: {e}"));
 
     // Structural invariants beyond the validator.
-    assert!(plan.backbone.pp >= 1 && task.model.backbone.layers % plan.backbone.pp == 0);
+    assert!(plan.backbone.pp >= 1 && task.model.backbone.layers.is_multiple_of(plan.backbone.pp));
     for m in ModuleKind::ALL {
         let p = plan.module(m);
         assert!(p.tp.is_power_of_two() && p.tp <= 8);
