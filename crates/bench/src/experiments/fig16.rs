@@ -24,10 +24,10 @@ fn results() -> &'static Vec<Row> {
                 let task = ablation_task(preset);
                 let plan = task.plan(SystemKind::DistTrain).expect("plan");
                 let cfg = task.runtime_config(SystemKind::DistTrain, MEASURE_ITERS);
-                let reordered = task.run_with_plan(plan, cfg.clone()).expect("run");
+                let reordered = task.run_with_plan(plan, cfg.clone());
                 let mut random_cfg = cfg;
                 random_cfg.reorder = ReorderMode::None;
-                let random = task.run_with_plan(plan, random_cfg).expect("run");
+                let random = task.run_with_plan(plan, random_cfg);
                 (preset, reordered.mfu(), random.mfu(), plan.backbone.dp)
             })
             .collect()

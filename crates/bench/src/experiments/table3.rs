@@ -4,18 +4,43 @@
 //! Paper measurements for MLLM-72B: 922 ms at 1296 GPUs / BS 1920, down
 //! to 133 ms at 112 GPUs / BS 240. We time our solver on the same matrix
 //! (absolute numbers differ — different machine and solver — but the
-//! sub-second bound and the growth with scale must reproduce).
+//! sub-second bound and the growth with scale must reproduce), in both
+//! search modes: the serial reference traversal and the default parallel
+//! lattice-sharded search. The two return bit-identical plans; the
+//! speedup column shows what the sharding buys on this host (≈1× on a
+//! single-core machine, where the parallel mode falls back to inline
+//! execution).
 
 use crate::report::Report;
 use disttrain_core::TrainingTask;
 use dt_cluster::{ClusterSpec, CollectiveCost};
 use dt_data::SyntheticLaion;
 use dt_model::{MllmPreset, MultimodalLlm};
-use dt_orchestrator::{Orchestrator, PerfModel, Profiler};
+use dt_orchestrator::{Orchestrator, PerfModel, PlanReport, Profiler, SearchMode};
 use std::time::Duration;
 
-/// Time one orchestration solve for MLLM-72B at `gpus`/`batch`.
-pub fn solve_time(gpus: u32, batch: u32) -> (Duration, usize) {
+/// One scale's timing: the same solve in both search modes.
+pub struct SolveTiming {
+    /// Serial reference traversal.
+    pub serial: Duration,
+    /// Parallel lattice-sharded search (auto worker count).
+    pub parallel: Duration,
+    /// Lattice points evaluated (identical in both modes).
+    pub candidates: usize,
+    /// Memoized cost-table lookups served by the `PerfCache`.
+    pub cache_hits: u64,
+}
+
+impl SolveTiming {
+    /// Serial time over parallel time (>1 means the sharding won).
+    pub fn speedup(&self) -> f64 {
+        self.serial.as_secs_f64() / self.parallel.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Time one orchestration solve for MLLM-72B at `gpus`/`batch` in both
+/// search modes.
+pub fn solve_time(gpus: u32, batch: u32) -> SolveTiming {
     let model: MultimodalLlm = MllmPreset::Mllm72B.build();
     let mut task = TrainingTask::production(model);
     task.cluster = ClusterSpec::production(gpus.div_ceil(8));
@@ -27,31 +52,52 @@ pub fn solve_time(gpus: u32, batch: u32) -> (Duration, usize) {
     let perf = PerfModel::new(&task.model, &task.cluster.node.gpu, &coll);
     let mut data = SyntheticLaion::new(task.data.clone(), 3);
     let profile = Profiler.profile(&perf, &data.take(64));
-    let report = Orchestrator::new(spec)
-        .plan_with_profile(&task.model, &profile)
-        .expect("orchestration must succeed");
-    (report.solve_wall_time, report.candidates_evaluated)
+    let solve = |mode: SearchMode| -> PlanReport {
+        Orchestrator::builder()
+            .spec(spec)
+            .search_mode(mode)
+            .build()
+            .expect("the Table 3 spec is well-formed")
+            .plan_with_profile(&task.model, &profile)
+            .expect("orchestration must succeed")
+    };
+    let serial = solve(SearchMode::Serial);
+    let parallel = solve(SearchMode::Parallel);
+    assert_eq!(serial.plan, parallel.plan, "search modes must agree bit-for-bit");
+    assert_eq!(serial.candidates_evaluated, parallel.candidates_evaluated);
+    SolveTiming {
+        serial: serial.solve_wall_time,
+        parallel: parallel.solve_wall_time,
+        candidates: serial.candidates_evaluated,
+        cache_hits: parallel.cache_hits,
+    }
 }
 
 /// Run the Table 3 matrix.
 pub fn run() -> Report {
     let mut r = Report::new(
         "Table 3 — orchestration-algorithm running time (MLLM-72B)",
-        &["# GPUs", "global batch", "our solve time", "candidates", "paper"],
+        &["# GPUs", "global batch", "serial", "parallel", "speedup", "candidates", "paper"],
     );
     r.note("Both solvers are sub-second; time grows with cluster scale.");
+    r.note(
+        "serial = reference traversal; parallel = lattice-sharded search \
+         (bit-identical plans; speedup ~1x on single-core hosts).",
+    );
     for (gpus, batch, paper) in [
         (1296u32, 1920u32, "922ms"),
         (648, 960, "641ms"),
         (324, 480, "441ms"),
         (112, 240, "133ms"),
     ] {
-        let (t, cands) = solve_time(gpus, batch);
+        let t = solve_time(gpus, batch);
         r.row(vec![
             format!("{gpus}"),
             format!("{batch}"),
-            format!("{:.0}ms", t.as_secs_f64() * 1e3),
-            format!("{cands}"),
+            format!("{:.0}ms", t.serial.as_secs_f64() * 1e3),
+            format!("{:.0}ms", t.parallel.as_secs_f64() * 1e3),
+            format!("{:.2}x", t.speedup()),
+            format!("{}", t.candidates),
             paper.into(),
         ]);
     }
@@ -65,11 +111,14 @@ mod tests {
     #[test]
     fn orchestration_is_subsecond_at_every_scale() {
         for (gpus, batch) in [(1296u32, 1920u32), (112, 240)] {
-            let (t, _) = solve_time(gpus, batch);
+            let t = solve_time(gpus, batch);
             assert!(
-                t < Duration::from_secs(5),
-                "solve at {gpus} GPUs took {t:?} (paper: <1s; allow debug-build slack)"
+                t.serial < Duration::from_secs(5) && t.parallel < Duration::from_secs(5),
+                "solve at {gpus} GPUs took {:?}/{:?} (paper: <1s; allow debug-build slack)",
+                t.serial,
+                t.parallel,
             );
+            assert!(t.cache_hits > t.candidates as u64, "the memo table must absorb lookups");
         }
     }
 }

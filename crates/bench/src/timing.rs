@@ -17,7 +17,13 @@ pub fn iters_or(default: u32) -> u32 {
 
 /// Time `f` over `iters` iterations (after one warm-up call) and print one
 /// result line. Returns the mean per-iteration time.
-pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Duration {
+pub fn bench<T>(name: &str, iters: u32, f: impl FnMut() -> T) -> Duration {
+    bench_stats(name, iters, f).0
+}
+
+/// [`fn@bench`], also returning the fastest single iteration — the noise-robust
+/// statistic machine-readable outputs (`BENCH_solver.json`) record.
+pub fn bench_stats<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> (Duration, Duration) {
     black_box(f());
     let iters = iters.max(1);
     let mut min = Duration::MAX;
@@ -29,5 +35,5 @@ pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Duration {
     }
     let mean = started.elapsed() / iters;
     println!("{name:<44} mean {mean:>12?}   min {min:>12?}   ({iters} iters)");
-    mean
+    (mean, min)
 }

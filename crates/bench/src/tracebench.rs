@@ -39,7 +39,7 @@ impl TracedRun {
 /// Plan `task` under DistTrain's policies and run `iterations` with the
 /// trace recorder enabled. Returns `None` when no feasible plan exists.
 pub fn traced_run(task: &TrainingTask, iterations: u32) -> Option<TracedRun> {
-    let plan = task.plan(SystemKind::DistTrain)?;
+    let plan = task.plan(SystemKind::DistTrain).ok()?;
     let runtime = Runtime {
         model: &task.model,
         cluster: &task.cluster,

@@ -8,7 +8,7 @@ use dt_data::DataConfig;
 use dt_model::MultimodalLlm;
 use dt_orchestrator::baselines::{distmm_star_plan, megatron_plan, proportional_shrink_plan};
 use dt_orchestrator::formulate::ProblemSpec;
-use dt_orchestrator::{Orchestrator, PerfModel, Profiler};
+use dt_orchestrator::{Orchestrator, PerfModel, PlanError, Profiler};
 use dt_parallel::OrchestrationPlan;
 use dt_preprocess::ReorderMode;
 use dt_simengine::DetRng;
@@ -142,7 +142,7 @@ impl TrainingTask {
     }
 
     /// Plan the task under `kind`'s orchestration policy.
-    pub fn plan(&self, kind: SystemKind) -> Option<OrchestrationPlan> {
+    pub fn plan(&self, kind: SystemKind) -> Result<OrchestrationPlan, PlanError> {
         let spec = self.problem_spec();
         match kind {
             SystemKind::MegatronLM => megatron_plan(&spec, &self.model),
@@ -165,18 +165,20 @@ impl TrainingTask {
                         // benchmarking training trials") and keeps the
                         // winner: fastest iteration, ties broken towards
                         // fewer GPUs (§7.1's resource-efficiency rule).
-                        let mut candidates: Vec<OrchestrationPlan> =
-                            Orchestrator::new(spec)
-                                .plan_candidates(&self.model, &profile, 12)
-                                .into_iter()
-                                .map(|r| r.plan)
-                                .collect();
+                        let orch = Orchestrator::builder().spec(spec).build()?;
+                        let mut candidates: Vec<OrchestrationPlan> = orch
+                            .plan_candidates(&self.model, &profile)?
+                            .into_iter()
+                            .map(|r| r.plan)
+                            .collect();
                         // DistTrain's search space strictly contains the
                         // baselines' points; trialing the FLOPs-proportional
                         // plan too guarantees the adaptive search never
                         // loses to it.
-                        candidates.extend(distmm_star_plan(&spec, &self.model, &profile));
-                        self.select_by_trial(candidates.into_iter())
+                        candidates.extend(distmm_star_plan(&spec, &self.model, &profile).ok());
+                        Ok(self
+                            .select_by_trial(candidates.into_iter())
+                            .expect("plan_candidates guarantees a non-empty trial set"))
                     }
                 }
             }
@@ -194,9 +196,8 @@ impl TrainingTask {
             // Trials run the full data path so their ranking matches the
             // production configuration exactly.
             let cfg = self.runtime_config(SystemKind::DistTrain, 1);
-            if let Some(report) = self.run_with_plan(plan, cfg) {
-                trials.push((report.mean_iter_secs(), plan.total_gpus(), plan));
-            }
+            let report = self.run_with_plan(plan, cfg);
+            trials.push((report.mean_iter_secs(), plan.total_gpus(), plan));
         }
         let best = trials
             .iter()
@@ -226,9 +227,9 @@ impl TrainingTask {
     /// the naive proportional shrink of `old_plan` (what a non-elastic
     /// system would keep running). Because the naive plan is in the trial
     /// set, the elastic re-plan never selects something worse than it
-    /// under the §7.1 selection rule. `None` when not even the naive
-    /// shapes fit the survivors.
-    pub fn replan_shrunk(&self, old_plan: &OrchestrationPlan) -> Option<OrchestrationPlan> {
+    /// under the §7.1 selection rule. Errs (with the §4 search's own
+    /// diagnosis) when not even the naive shapes fit the survivors.
+    pub fn replan_shrunk(&self, old_plan: &OrchestrationPlan) -> Result<OrchestrationPlan, PlanError> {
         let spec = self.problem_spec();
         let coll = CollectiveCost::new(self.cluster.clone());
         let perf = PerfModel::new(&self.model, &self.cluster.node.gpu, &coll).with_stepccl();
@@ -236,13 +237,17 @@ impl TrainingTask {
             dt_data::SyntheticLaion::new(self.data.clone(), DetRng::new(self.seed).next_u64());
         let samples = data.take(64);
         let profile = Profiler.profile(&perf, &samples);
-        let mut candidates: Vec<OrchestrationPlan> = Orchestrator::new(spec)
-            .plan_candidates(&self.model, &profile, 12)
+        let orch = Orchestrator::builder().spec(spec).build()?;
+        let mut candidates: Vec<OrchestrationPlan> = orch
+            .plan_candidates(&self.model, &profile)?
             .into_iter()
             .map(|r| r.plan)
             .collect();
-        candidates.extend(proportional_shrink_plan(&self.problem_spec(), &self.model, old_plan));
-        self.select_by_trial(candidates.into_iter())
+        candidates
+            .extend(proportional_shrink_plan(&self.problem_spec(), &self.model, old_plan).ok());
+        Ok(self
+            .select_by_trial(candidates.into_iter())
+            .expect("plan_candidates guarantees a non-empty trial set"))
     }
 
     /// The runtime configuration each system uses for data handling
@@ -256,16 +261,17 @@ impl TrainingTask {
         cfg
     }
 
-    /// Plan and run `iterations` of training under `kind`. Returns `None`
-    /// when no feasible plan exists.
-    pub fn run(&self, kind: SystemKind, iterations: u32) -> Option<TrainingReport> {
+    /// Plan and run `iterations` of training under `kind`. Errs with the
+    /// planner's diagnosis when no feasible plan exists.
+    pub fn run(&self, kind: SystemKind, iterations: u32) -> Result<TrainingReport, PlanError> {
         let plan = self.plan(kind)?;
-        self.run_with_plan(plan, self.runtime_config(kind, iterations))
+        Ok(self.run_with_plan(plan, self.runtime_config(kind, iterations)))
     }
 
     /// Run with an explicit plan and runtime config (ablations mix and
     /// match, e.g. DistTrain's plan + random data order for Figure 16).
-    pub fn run_with_plan(&self, plan: OrchestrationPlan, cfg: RuntimeConfig) -> Option<TrainingReport> {
+    /// Infallible: planning is where feasibility is decided.
+    pub fn run_with_plan(&self, plan: OrchestrationPlan, cfg: RuntimeConfig) -> TrainingReport {
         let runtime = Runtime {
             model: &self.model,
             cluster: &self.cluster,
@@ -273,7 +279,7 @@ impl TrainingTask {
             data: self.data.clone(),
             cfg,
         };
-        Some(runtime.run())
+        runtime.run()
     }
 }
 
@@ -286,7 +292,7 @@ impl TrainingSystem {
     pub fn compare(task: &TrainingTask, iterations: u32) -> Vec<(SystemKind, TrainingReport)> {
         [SystemKind::DistTrain, SystemKind::MegatronLM, SystemKind::DistMMStar]
             .into_iter()
-            .filter_map(|k| task.run(k, iterations).map(|r| (k, r)))
+            .filter_map(|k| task.run(k, iterations).ok().map(|r| (k, r)))
             .collect()
     }
 }
@@ -310,7 +316,7 @@ mod tests {
     fn all_three_systems_plan_the_ablation() {
         let t = task(MllmPreset::Mllm9B);
         for kind in [SystemKind::DistTrain, SystemKind::MegatronLM, SystemKind::DistMMStar] {
-            let plan = t.plan(kind).unwrap_or_else(|| panic!("{kind} failed to plan"));
+            let plan = t.plan(kind).unwrap_or_else(|e| panic!("{kind} failed to plan: {e}"));
             assert!(plan.total_gpus() <= 96, "{kind} used {} GPUs", plan.total_gpus());
         }
     }
@@ -361,11 +367,8 @@ mod tests {
         let naive = proportional_shrink_plan(&shrunk.problem_spec(), &shrunk.model, &old)
             .expect("naive proportional shrink");
         assert!(replanned.total_gpus() <= shrunk.cluster.total_gpus());
-        let run = |p| {
-            shrunk
-                .run_with_plan(p, shrunk.runtime_config(SystemKind::DistTrain, 2))
-                .unwrap()
-        };
+        let run =
+            |p| shrunk.run_with_plan(p, shrunk.runtime_config(SystemKind::DistTrain, 2));
         let re = run(replanned);
         let na = run(naive);
         assert!(

@@ -82,6 +82,11 @@ pub struct ElasticReport {
     pub failures: Vec<FailureEvent>,
     /// Where the wall clock went.
     pub goodput: GoodputReport,
+    /// Real host time spent inside the §4 re-orchestration search across
+    /// all shrinks (solver wall time, not simulated time — the simulated
+    /// clock charges `reshard_cost` instead). With the parallel search this
+    /// is the recovery path's solver budget.
+    pub replan_search: std::time::Duration,
 }
 
 impl ElasticReport {
@@ -174,7 +179,7 @@ pub fn run_elastic_traced(
 ) -> Result<ElasticReport, ElasticError> {
     let plan = task
         .plan(SystemKind::DistTrain)
-        .ok_or_else(|| ElasticError::Infeasible("initial cluster".into()))?;
+        .map_err(|e| ElasticError::Infeasible(format!("initial cluster: {e}")))?;
     run_elastic_with(task, iterations, elastic, plan, ckpt_dir, rec)
 }
 
@@ -202,6 +207,7 @@ pub fn run_elastic_with(
     let mut failures: Vec<FailureEvent> = Vec::new();
     let mut g = GoodputReport::default();
     let mut wall = Wall { now: SimTime::ZERO, degraded: false, degraded_total: SimDuration::ZERO };
+    let mut replan_search = std::time::Duration::ZERO;
     let mut it = 0u32;
 
     while it < iterations {
@@ -323,12 +329,14 @@ pub fn run_elastic_with(
                         let shrunk = cur_task
                             .shrunk(1)
                             .ok_or_else(|| ElasticError::Infeasible("no node left".into()))?;
-                        let new_plan = shrunk.replan_shrunk(&cur_plan).ok_or_else(|| {
+                        let search_started = std::time::Instant::now();
+                        let new_plan = shrunk.replan_shrunk(&cur_plan).map_err(|e| {
                             ElasticError::Infeasible(format!(
-                                "no plan for {} nodes",
+                                "no plan for {} nodes: {e}",
                                 shrunk.cluster.num_nodes
                             ))
                         })?;
+                        replan_search += search_started.elapsed();
                         // Migrating state onto the re-sharded plan costs
                         // checkpoint-bytes over the RDMA fabric.
                         wall.advance(elastic.reshard_cost);
@@ -408,6 +416,7 @@ pub fn run_elastic_with(
         epochs,
         failures,
         goodput: g,
+        replan_search,
     })
 }
 
@@ -503,6 +512,10 @@ mod tests {
         out.goodput.validate().unwrap();
         assert!(out.goodput.degraded > SimDuration::ZERO, "post-shrink time is degraded");
         assert!(out.goodput.lost > SimDuration::ZERO);
+        assert!(
+            out.replan_search > std::time::Duration::ZERO,
+            "a shrink must spend real solver time re-orchestrating"
+        );
 
         // Bit-identical committed history: replay each epoch's iterations
         // on a fresh runtime bound to that epoch's cluster + plan.
@@ -553,9 +566,7 @@ mod tests {
         assert_eq!(out.goodput.degraded, SimDuration::ZERO);
 
         let plan = task.plan(SystemKind::DistTrain).unwrap();
-        let plain = task
-            .run_with_plan(plan, RuntimeConfig::disttrain(32, iterations))
-            .unwrap();
+        let plain = task.run_with_plan(plan, RuntimeConfig::disttrain(32, iterations));
         for (a, b) in out.report.iterations.iter().zip(&plain.iterations) {
             assert_eq!(a.iter_time, b.iter_time);
             assert_eq!(a.model_flops, b.model_flops);

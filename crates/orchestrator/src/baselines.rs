@@ -11,6 +11,7 @@
 //!   FLOPs" — GPUs split proportionally to each module's training FLOPs,
 //!   ignoring the §4.2 performance model.
 
+use crate::error::PlanError;
 use crate::formulate::ProblemSpec;
 use crate::profiler::TaskProfile;
 use dt_model::{ModuleKind, MultimodalLlm};
@@ -33,7 +34,10 @@ fn paper_pp_lm(model: &MultimodalLlm) -> Option<u32> {
 }
 
 /// Megatron-LM's monolithic orchestration.
-pub fn megatron_plan(spec: &ProblemSpec, model: &MultimodalLlm) -> Option<OrchestrationPlan> {
+pub fn megatron_plan(
+    spec: &ProblemSpec,
+    model: &MultimodalLlm,
+) -> Result<OrchestrationPlan, PlanError> {
     let tp = spec.gpus_per_node.min(8);
     let shape = dt_model::mllm::SampleShape {
         text_tokens: model.seq_len / 2,
@@ -44,14 +48,19 @@ pub fn megatron_plan(spec: &ProblemSpec, model: &MultimodalLlm) -> Option<Orches
         gen_res: model.gen_resolution,
     };
     let bb_mem = model.module_memory(ModuleKind::Backbone, &shape);
+    let mut pps: Vec<u32> = (1..=model.backbone.layers)
+        .filter(|k| model.backbone.layers.is_multiple_of(*k))
+        .collect();
+    pps.sort_unstable();
+    let pp_tried = pps.len();
     let pp_lm = paper_pp_lm(model)
         .filter(|&pp| bb_mem.fits(spec.hbm_bytes, pp, tp, 1, spec.microbatch))
         .or_else(|| {
-            let mut pps: Vec<u32> = (1..=model.backbone.layers)
-                .filter(|k| model.backbone.layers.is_multiple_of(*k))
-                .collect();
-            pps.sort_unstable();
             pps.into_iter().find(|&pp| bb_mem.fits(spec.hbm_bytes, pp, tp, 1, spec.microbatch))
+        })
+        .ok_or(PlanError::NoMemoryFeasiblePoint {
+            candidates_evaluated: pp_tried,
+            memory_rejected: pp_tried,
         })?;
 
     // One shared DP across all modules; the pipeline is PP_lm + 2 stages
@@ -59,9 +68,11 @@ pub fn megatron_plan(spec: &ProblemSpec, model: &MultimodalLlm) -> Option<Orches
     let stages = pp_lm + 2;
     let dp_cap = spec.total_gpus / (tp * stages);
     let bs_over_m = spec.global_batch / spec.microbatch.max(1);
-    let dp = divisors_desc(bs_over_m).into_iter().find(|&d| d <= dp_cap)?;
+    let dp = divisors_desc(bs_over_m).into_iter().find(|&d| d <= dp_cap).ok_or(
+        PlanError::ClusterTooSmall { total_gpus: spec.total_gpus, min_required: tp * stages },
+    )?;
 
-    Some(OrchestrationPlan {
+    Ok(OrchestrationPlan {
         encoder: ModulePlan::replicated(tp, dp, 1),
         backbone: ModulePlan::new(tp, dp, pp_lm).with_sp(),
         generator: ModulePlan::replicated(tp, dp, 1),
@@ -73,16 +84,16 @@ pub fn megatron_plan(spec: &ProblemSpec, model: &MultimodalLlm) -> Option<Orches
 /// its (x, y, z) GPU *ratios*, scaled down to the degraded cluster — what a
 /// system without re-orchestration would do after losing nodes. Each module
 /// keeps its parallelism style; only DP widths shrink (the backbone DP to
-/// the largest batch divisor within its scaled share). Returns `None` when
-/// even the proportional shapes cannot fit.
+/// the largest batch divisor within its scaled share). Errs when even the
+/// proportional shapes cannot fit.
 pub fn proportional_shrink_plan(
     spec: &ProblemSpec,
     model: &MultimodalLlm,
     old: &OrchestrationPlan,
-) -> Option<OrchestrationPlan> {
+) -> Result<OrchestrationPlan, PlanError> {
     let old_total = old.total_gpus();
     if spec.total_gpus >= old_total {
-        return Some(*old);
+        return Ok(*old);
     }
     let scale = spec.total_gpus as f64 / old_total as f64;
 
@@ -92,9 +103,9 @@ pub fn proportional_shrink_plan(
     let pp = old.backbone.pp;
     let y_budget = (old.backbone.gpus() as f64 * scale).floor() as u32;
     let bs_over_m = spec.global_batch / spec.microbatch.max(1);
-    let dp = divisors_desc(bs_over_m)
-        .into_iter()
-        .find(|&d| d * tp * pp <= y_budget)?;
+    let dp = divisors_desc(bs_over_m).into_iter().find(|&d| d * tp * pp <= y_budget).ok_or(
+        PlanError::ClusterTooSmall { total_gpus: spec.total_gpus, min_required: tp * pp + 2 },
+    )?;
     let backbone = if old.backbone.sp {
         ModulePlan::new(tp, dp, pp).with_sp()
     } else {
@@ -121,7 +132,10 @@ pub fn proportional_shrink_plan(
         } else if plan.generator.dp > 1 {
             plan.generator.dp -= 1;
         } else {
-            return None;
+            return Err(PlanError::ClusterTooSmall {
+                total_gpus: spec.total_gpus,
+                min_required: plan.total_gpus(),
+            });
         }
     }
     plan.validate(
@@ -139,8 +153,8 @@ pub fn proportional_shrink_plan(
         },
         spec.global_batch,
     )
-    .ok()?;
-    Some(plan)
+    .map_err(|_| PlanError::NoMemoryFeasiblePoint { candidates_evaluated: 1, memory_rejected: 1 })?;
+    Ok(plan)
 }
 
 /// DistMM*'s FLOPs-proportional orchestration.
@@ -148,7 +162,7 @@ pub fn distmm_star_plan(
     spec: &ProblemSpec,
     model: &MultimodalLlm,
     profile: &TaskProfile,
-) -> Option<OrchestrationPlan> {
+) -> Result<OrchestrationPlan, PlanError> {
     // FLOPs proxy: the profiled per-sample TP=1 training times (pure
     // compute magnitude, exactly what "allocation by model size and FLOPs"
     // sees — it ignores how parallelism changes those times).
@@ -157,13 +171,18 @@ pub fn distmm_star_plan(
     let c_mg = profile.generator.train(1);
     let total = c_me + c_lm + c_mg;
     if total <= 0.0 {
-        return None;
+        return Err(PlanError::InvalidSpec {
+            field: "profile",
+            reason: "profiled training times must be positive".into(),
+        });
     }
     let node = spec.gpus_per_node;
     let n = spec.total_gpus;
     let x = (((n as f64 * c_me / total) / node as f64).round() as u32 * node).max(node);
     let z = (((n as f64 * c_mg / total) / node as f64).round() as u32 * node).max(node);
-    let y_budget = n.checked_sub(x + z)?;
+    let y_budget = n
+        .checked_sub(x + z)
+        .ok_or(PlanError::ClusterTooSmall { total_gpus: n, min_required: x + z + 1 })?;
 
     // Backbone: TP = node width, the largest batch-divisor DP that fits,
     // PP from what remains.
@@ -171,10 +190,12 @@ pub fn distmm_star_plan(
     let bs_over_m = spec.global_batch / spec.microbatch.max(1);
     let shape = &profile.mean_shape;
     let bb_mem = model.module_memory(ModuleKind::Backbone, shape);
+    let mut tried = 0usize;
     for dp in divisors_desc(bs_over_m) {
         if dp * tp > y_budget {
             continue;
         }
+        tried += 1;
         let pp_budget = y_budget / (dp * tp);
         // Largest layer-divisor PP within budget that satisfies memory.
         let pp = (1..=model.backbone.layers)
@@ -182,7 +203,7 @@ pub fn distmm_star_plan(
             .filter(|&pp| bb_mem.fits(spec.hbm_bytes, pp, tp, dp, spec.microbatch))
             .max();
         if let Some(pp) = pp {
-            return Some(OrchestrationPlan {
+            return Ok(OrchestrationPlan {
                 encoder: ModulePlan::replicated(node, x / node, 1),
                 backbone: ModulePlan::new(tp, dp, pp).with_sp(),
                 generator: ModulePlan::replicated(node, z / node, 1),
@@ -190,7 +211,7 @@ pub fn distmm_star_plan(
             });
         }
     }
-    None
+    Err(PlanError::NoMemoryFeasiblePoint { candidates_evaluated: tried, memory_rejected: tried })
 }
 
 #[cfg(test)]

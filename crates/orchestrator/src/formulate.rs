@@ -24,7 +24,7 @@
 //! formula.
 
 use crate::perf::PerfModel;
-use crate::profiler::TaskProfile;
+use crate::profiler::{TaskProfile, TrainCost};
 use dt_model::ModuleKind;
 use dt_parallel::{ModulePlan, OrchestrationPlan};
 
@@ -97,9 +97,13 @@ pub fn microbatches(spec: &ProblemSpec, dp_lm: u32) -> Option<u32> {
 /// the allocation is structurally infeasible (zero GPUs or indivisible
 /// batch). Memory feasibility is checked separately by the caller against
 /// the full plan.
-pub fn objective(
+///
+/// Generic over the cost source: a [`TaskProfile`] interpolates on every
+/// call, a [`crate::cache::PerfCache`] serves the same numbers from its
+/// prebuilt table (bit-identical by construction).
+pub fn objective<C: TrainCost + ?Sized>(
     spec: &ProblemSpec,
-    profile: &TaskProfile,
+    costs: &C,
     cand: &Candidate,
     x: u32,
     y: u32,
@@ -111,9 +115,9 @@ pub fn objective(
     let n_mb = microbatches(spec, cand.dp_lm)? as f64;
     let m = spec.microbatch as f64;
     let dp_lm = cand.dp_lm as f64;
-    let c_lm = profile.backbone.train(cand.tp_lm);
-    let c_me = profile.encoder.train(cand.tp_me);
-    let c_mg = profile.generator.train(cand.tp_mg);
+    let c_lm = costs.train_cost(ModuleKind::Backbone, cand.tp_lm);
+    let c_me = costs.train_cost(ModuleKind::Encoder, cand.tp_me);
+    let c_mg = costs.train_cost(ModuleKind::Generator, cand.tp_mg);
     let (x, y, z) = (x as f64, y as f64, z as f64);
 
     let pp_lm = y / (cand.tp_lm as f64 * dp_lm);

@@ -16,18 +16,30 @@
 //!    then solve each inner convex `min A/x + B/z + K·max(a/x, b/y, c/z)`
 //!    allocation exactly (golden-section + lattice rounding, validated
 //!    against brute force), our stand-in for the CVX call;
-//! 5. [`orchestrate::Orchestrator`] — the user-facing planner;
+//! 5. [`orchestrate::Orchestrator`] — the user-facing planner, built via
+//!    [`orchestrate::OrchestratorBuilder`]; the search is memoized through
+//!    [`cache::PerfCache`] and (by default) sharded across a scoped worker
+//!    pool, with a bit-identical [`orchestrate::SearchMode::Serial`]
+//!    reference path;
 //! 6. [`baselines`] — Megatron-LM's monolithic plan (§2.1) and DistMM*'s
 //!    FLOPs-proportional plan (§7.2), the two comparison points of the
 //!    evaluation.
+//!
+//! Planner entry points return `Result<_, `[`error::PlanError`]`>`; the
+//! error variants carry the counts needed for a one-line diagnosis of why
+//! the search came up empty.
 
 pub mod baselines;
+pub mod cache;
+pub mod error;
 pub mod formulate;
 pub mod orchestrate;
 pub mod perf;
 pub mod profiler;
 pub mod solve;
 
-pub use orchestrate::{Orchestrator, PlanReport};
+pub use cache::PerfCache;
+pub use error::PlanError;
+pub use orchestrate::{Orchestrator, OrchestratorBuilder, PlanReport, SearchMode, DEFAULT_TOP_K};
 pub use perf::PerfModel;
-pub use profiler::{ModuleProfile, Profiler, TaskProfile};
+pub use profiler::{ModuleProfile, Profiler, TaskProfile, TrainCost};

@@ -4,8 +4,32 @@
 //! each inner convex allocation with [`crate::solve`], and returns the best
 //! memory-feasible [`OrchestrationPlan`]. The whole search completes in
 //! well under a second at 1296 GPUs (Table 3 reports 922 ms for the real
-//! system; `bench_orchestrator` regenerates the comparison).
+//! system; `bench_orchestrator` regenerates the comparison and archives it
+//! in `BENCH_solver.json`).
+//!
+//! Two orthogonal optimizations keep the search on budget even on the
+//! failure-recovery critical path (`dt-elastic` re-runs it after every
+//! shrink):
+//!
+//! * **Memoization** — per-module timings and the backbone memory estimate
+//!   are pure functions of `(module, shape, TP)`; a [`PerfCache`] prebuilds
+//!   them once per search instead of re-interpolating at every lattice
+//!   point.
+//! * **Parallel sharding** — the outer `(TP_lm, DP_lm)` lattice is sharded
+//!   across a `std::thread::scope` worker pool (sized from
+//!   [`std::thread::available_parallelism`], overridable via
+//!   [`OrchestratorBuilder::workers`]); each worker solves its shard's
+//!   inner convex allocations independently and the shards merge in
+//!   enumeration order, so the parallel search returns **bit-identical**
+//!   plans to the serial one ([`SearchMode::Serial`] keeps the reference
+//!   path alive for the determinism test).
+//!
+//! Planner entry points return `Result<_, `[`PlanError`]`>` so callers get
+//! a one-line diagnosis — which constraint emptied the search — instead of
+//! a bare `None`.
 
+use crate::cache::PerfCache;
+use crate::error::PlanError;
 use crate::formulate::{Candidate, Objective, ProblemSpec};
 use crate::perf::PerfModel;
 use crate::profiler::{Profiler, TaskProfile};
@@ -18,19 +42,56 @@ use crate::solve::{solve_inner, trim_allocation, Allocation};
 /// winner (time first, GPU footprint as tie-break).
 const TRIM_SLACK_PER_GPU: [f64; 2] = [3e-4, 2e-3];
 
-
 use dt_data::TrainSample;
 use dt_model::MultimodalLlm;
 use dt_parallel::{ModulePlan, OrchestrationPlan};
 
-/// TP sizes considered (one NVLink node; §4.3).
-const TP_CHOICES: [u32; 4] = [1, 2, 4, 8];
+/// TP sizes considered (one NVLink node; §4.3) — the same grid the
+/// profiler trials, so every lattice lookup is a [`PerfCache`] table hit.
+const TP_CHOICES: [u32; 4] = crate::profiler::TRIAL_TPS;
+
+/// The smallest cluster the disaggregated layout can occupy: one backbone
+/// GPU plus one encoder and one generator GPU.
+const MIN_CLUSTER_GPUS: u32 = 3;
+
+/// Default candidate shortlist size (`top_k`): the §3 benchmarking-trial
+/// phase compares up to this many distinct validated plans.
+pub const DEFAULT_TOP_K: usize = 12;
+
+/// How the TP×DP×PP lattice is traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// Single-threaded reference traversal (the determinism baseline).
+    Serial,
+    /// Shard the outer `(TP_lm, DP_lm)` lattice across a scoped worker
+    /// pool; results are merged in enumeration order and are bit-identical
+    /// to [`SearchMode::Serial`].
+    #[default]
+    Parallel,
+}
+
+impl std::fmt::Display for SearchMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchMode::Serial => write!(f, "serial"),
+            SearchMode::Parallel => write!(f, "parallel"),
+        }
+    }
+}
 
 /// The planner.
 #[derive(Debug, Clone)]
 pub struct Orchestrator {
     /// Problem constants.
     pub spec: ProblemSpec,
+    /// Lattice traversal strategy (default [`SearchMode::Parallel`]).
+    pub search_mode: SearchMode,
+    /// Candidate shortlist size for [`Orchestrator::plan_candidates`] and
+    /// [`Orchestrator::replan_degraded`] (default [`DEFAULT_TOP_K`]).
+    pub top_k: usize,
+    /// Worker-pool size for [`SearchMode::Parallel`]; `0` means "size from
+    /// [`std::thread::available_parallelism`]".
+    pub workers: usize,
 }
 
 /// The planner's result plus diagnostics.
@@ -42,8 +103,173 @@ pub struct PlanReport {
     pub objective: Objective,
     /// Lattice points evaluated.
     pub candidates_evaluated: usize,
+    /// Memoized cost-table lookups served by the [`PerfCache`] — the work
+    /// the cache absorbed instead of re-interpolating the profile.
+    pub cache_hits: u64,
     /// Wall-clock time of the search (the Table 3 metric).
     pub solve_wall_time: std::time::Duration,
+    /// How the lattice was traversed.
+    pub search_mode: SearchMode,
+    /// Per-worker busy wall time (one entry per shard worker; a single
+    /// entry for serial searches).
+    pub shard_wall_times: Vec<std::time::Duration>,
+}
+
+/// Builder for [`Orchestrator`] — the supported way to construct a planner.
+///
+/// Defaults (each setter documents its constraint; [`Self::build`] rejects
+/// violations with [`PlanError::InvalidSpec`]):
+///
+/// | knob | default |
+/// |---|---|
+/// | `gpus_per_node` | 8 |
+/// | `hbm_bytes` | 80 GiB |
+/// | `microbatch` | 1 |
+/// | `vpp` | 1 |
+/// | `pp_hop_secs` | 0.0 |
+/// | `search_mode` | [`SearchMode::Parallel`] |
+/// | `top_k` | [`DEFAULT_TOP_K`] |
+/// | `workers` | 0 (auto) |
+///
+/// `total_gpus` and `global_batch` have no meaningful default and must be
+/// set (directly or via [`Self::spec`]).
+#[derive(Debug, Clone)]
+pub struct OrchestratorBuilder {
+    spec: ProblemSpec,
+    search_mode: SearchMode,
+    top_k: usize,
+    workers: usize,
+}
+
+impl Default for OrchestratorBuilder {
+    fn default() -> Self {
+        OrchestratorBuilder {
+            spec: ProblemSpec {
+                total_gpus: 0,
+                gpus_per_node: 8,
+                hbm_bytes: 80 * (1 << 30),
+                global_batch: 0,
+                microbatch: 1,
+                vpp: 1,
+                pp_hop_secs: 0.0,
+            },
+            search_mode: SearchMode::default(),
+            top_k: DEFAULT_TOP_K,
+            workers: 0,
+        }
+    }
+}
+
+impl OrchestratorBuilder {
+    /// Start from an existing [`ProblemSpec`] (keeps the search knobs at
+    /// their defaults).
+    pub fn spec(mut self, spec: ProblemSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Total GPUs available (`N`). Must be ≥ 1.
+    pub fn total_gpus(mut self, n: u32) -> Self {
+        self.spec.total_gpus = n;
+        self
+    }
+
+    /// GPUs per NVLink node (TP confinement bound). Must be ≥ 1.
+    pub fn gpus_per_node(mut self, n: u32) -> Self {
+        self.spec.gpus_per_node = n;
+        self
+    }
+
+    /// Per-GPU HBM bytes. Must be > 0.
+    pub fn hbm_bytes(mut self, bytes: u64) -> Self {
+        self.spec.hbm_bytes = bytes;
+        self
+    }
+
+    /// Global batch size (`BS`). Must be ≥ 1.
+    pub fn global_batch(mut self, bs: u32) -> Self {
+        self.spec.global_batch = bs;
+        self
+    }
+
+    /// Microbatch size (`M`, fixed small; §4.2). Must be ≥ 1.
+    pub fn microbatch(mut self, m: u32) -> Self {
+        self.spec.microbatch = m;
+        self
+    }
+
+    /// Virtual-pipeline size (warm-up divisor; 1 = plain 1F1B). Must be
+    /// ≥ 1.
+    pub fn vpp(mut self, vpp: u32) -> Self {
+        self.spec.vpp = vpp;
+        self
+    }
+
+    /// Estimated per-boundary activation hop cost in seconds. Must be
+    /// finite and ≥ 0.
+    pub fn pp_hop_secs(mut self, secs: f64) -> Self {
+        self.spec.pp_hop_secs = secs;
+        self
+    }
+
+    /// Lattice traversal strategy.
+    pub fn search_mode(mut self, mode: SearchMode) -> Self {
+        self.search_mode = mode;
+        self
+    }
+
+    /// Candidate shortlist size. Must be ≥ 1.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Worker-pool size for the parallel search (`0` = auto-size from
+    /// [`std::thread::available_parallelism`]). Mostly a determinism-test
+    /// knob: it forces real sharding on machines of any core count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Validate every knob and produce the planner.
+    pub fn build(self) -> Result<Orchestrator, PlanError> {
+        let invalid = |field: &'static str, reason: &str| PlanError::InvalidSpec {
+            field,
+            reason: reason.to_string(),
+        };
+        let s = &self.spec;
+        if s.total_gpus == 0 {
+            return Err(invalid("total_gpus", "must be ≥ 1 (unset?)"));
+        }
+        if s.gpus_per_node == 0 {
+            return Err(invalid("gpus_per_node", "must be ≥ 1"));
+        }
+        if s.hbm_bytes == 0 {
+            return Err(invalid("hbm_bytes", "must be > 0"));
+        }
+        if s.global_batch == 0 {
+            return Err(invalid("global_batch", "must be ≥ 1 (unset?)"));
+        }
+        if s.microbatch == 0 {
+            return Err(invalid("microbatch", "must be ≥ 1"));
+        }
+        if s.vpp == 0 {
+            return Err(invalid("vpp", "must be ≥ 1"));
+        }
+        if !s.pp_hop_secs.is_finite() || s.pp_hop_secs < 0.0 {
+            return Err(invalid("pp_hop_secs", "must be finite and ≥ 0"));
+        }
+        if self.top_k == 0 {
+            return Err(invalid("top_k", "must be ≥ 1"));
+        }
+        Ok(Orchestrator {
+            spec: self.spec,
+            search_mode: self.search_mode,
+            top_k: self.top_k,
+            workers: self.workers,
+        })
+    }
 }
 
 fn divisors(n: u32) -> Vec<u32> {
@@ -65,10 +291,31 @@ fn small_module_plan(tp: u32, gpus: u32, gpus_per_node: u32) -> ModulePlan {
     }
 }
 
+/// What one `(TP_lm, DP_lm)` outer-lattice pair contributes to the search:
+/// its ranked entries in enumeration order plus its rejection counters.
+struct PairOutcome {
+    entries: Vec<(f64, Candidate, u32 /*pp*/, Allocation)>,
+    evaluated: usize,
+    memory_rejected: usize,
+}
+
 impl Orchestrator {
-    /// Create a planner for the given problem constants.
+    /// Create a planner with default search knobs — a thin shim over
+    /// [`Orchestrator::builder`] kept for spec-in-hand callers. Performs no
+    /// validation; a malformed spec surfaces as a [`PlanError`] from the
+    /// search instead.
     pub fn new(spec: ProblemSpec) -> Self {
-        Orchestrator { spec }
+        Orchestrator {
+            spec,
+            search_mode: SearchMode::default(),
+            top_k: DEFAULT_TOP_K,
+            workers: 0,
+        }
+    }
+
+    /// Start building a planner (see [`OrchestratorBuilder`]).
+    pub fn builder() -> OrchestratorBuilder {
+        OrchestratorBuilder::default()
     }
 
     /// Full pipeline: profile the task from a data subset, then search.
@@ -77,89 +324,190 @@ impl Orchestrator {
         model: &MultimodalLlm,
         perf: &PerfModel<'_>,
         samples: &[TrainSample],
-    ) -> Option<PlanReport> {
+    ) -> Result<PlanReport, PlanError> {
         let profile = Profiler.profile(perf, samples);
         self.plan_with_profile(model, &profile)
     }
 
     /// Search with an existing profile (lets callers reuse trials).
-    pub fn plan_with_profile(&self, model: &MultimodalLlm, profile: &TaskProfile) -> Option<PlanReport> {
-        self.plan_candidates(model, profile, 1).into_iter().next()
+    pub fn plan_with_profile(
+        &self,
+        model: &MultimodalLlm,
+        profile: &TaskProfile,
+    ) -> Result<PlanReport, PlanError> {
+        Ok(self
+            .plan_candidates(model, profile)?
+            .into_iter()
+            .next()
+            .expect("plan_candidates returns a non-empty list on Ok"))
     }
 
     /// Re-solve for a degraded cluster (§4.3 re-run after node failures):
     /// the same problem with `remaining_gpus` instead of the original
     /// budget. The profile is resolution-independent, so the failure-time
     /// re-plan reuses the profile measured at job start — no re-profiling
-    /// on the critical recovery path.
+    /// on the critical recovery path (and the parallel search keeps the
+    /// recovery-time re-orchestration itself short).
     pub fn replan_degraded(
         &self,
         model: &MultimodalLlm,
         profile: &TaskProfile,
         remaining_gpus: u32,
-        k: usize,
-    ) -> Vec<PlanReport> {
+    ) -> Result<Vec<PlanReport>, PlanError> {
         let mut shrunk = self.clone();
         shrunk.spec.total_gpus = remaining_gpus;
-        shrunk.plan_candidates(model, profile, k)
+        shrunk.plan_candidates(model, profile)
     }
 
-    /// The top `k` distinct validated plans in predicted-time order. The
-    /// training manager evaluates these with benchmarking trials and keeps
-    /// the best (§3: "runs a series of benchmarking training trials"), which
-    /// corrects any misranking by the closed-form objective.
+    /// The top `self.top_k` distinct validated plans in predicted-time
+    /// order; the list is non-empty on `Ok`. The training manager
+    /// evaluates these with benchmarking trials and keeps the best (§3:
+    /// "runs a series of benchmarking training trials"), which corrects
+    /// any misranking by the closed-form objective.
     pub fn plan_candidates(
         &self,
         model: &MultimodalLlm,
         profile: &TaskProfile,
-        k: usize,
-    ) -> Vec<PlanReport> {
+    ) -> Result<Vec<PlanReport>, PlanError> {
         let started = std::time::Instant::now();
         let spec = &self.spec;
+        if spec.total_gpus < MIN_CLUSTER_GPUS {
+            return Err(PlanError::ClusterTooSmall {
+                total_gpus: spec.total_gpus,
+                min_required: MIN_CLUSTER_GPUS,
+            });
+        }
         let bs_over_m = spec.global_batch / spec.microbatch.max(1);
         let layers = model.backbone.layers;
         let shape = &profile.mean_shape;
-        let bb_mem = model.module_memory(dt_model::ModuleKind::Backbone, shape);
 
-        let mut evaluated = 0usize;
-        let mut ranked: Vec<(f64, Candidate, u32 /*pp*/, Allocation)> = Vec::new();
+        // Memoized evaluation table, shared read-only across workers.
+        let cache = PerfCache::build(model, profile);
 
-        for &tp_lm in &TP_CHOICES {
-            for &dp_lm in &divisors(bs_over_m) {
-                if dp_lm * tp_lm > spec.total_gpus {
+        // The outer (TP_lm, DP_lm) lattice, in enumeration order — the
+        // unit of work sharding. Everything downstream merges by pair
+        // index, which is what makes the parallel search bit-identical.
+        let dp_choices = divisors(bs_over_m);
+        let pp_choices = divisors(layers);
+        let pairs: Vec<(u32, u32)> = TP_CHOICES
+            .iter()
+            .flat_map(|&tp_lm| dp_choices.iter().map(move |&dp_lm| (tp_lm, dp_lm)))
+            .filter(|&(tp_lm, dp_lm)| dp_lm * tp_lm <= spec.total_gpus)
+            .collect();
+        if pairs.is_empty() {
+            return Err(PlanError::EmptyLattice { pairs_considered: 0 });
+        }
+
+        // Solve one pair's full inner sub-lattice (PP × TP_me × TP_mg).
+        let eval_pair = |&(tp_lm, dp_lm): &(u32, u32)| -> PairOutcome {
+            let mut out = PairOutcome { entries: Vec::new(), evaluated: 0, memory_rejected: 0 };
+            for &pp_lm in &pp_choices {
+                let y = tp_lm * dp_lm * pp_lm;
+                if y + 2 > spec.total_gpus {
                     continue;
                 }
-                for &pp_lm in &divisors(layers) {
-                    let y = tp_lm * dp_lm * pp_lm;
-                    if y + 2 > spec.total_gpus {
-                        continue;
-                    }
-                    // Backbone memory gate (§4.2 constraint).
-                    if !bb_mem.fits(spec.hbm_bytes, pp_lm, tp_lm, dp_lm, spec.microbatch) {
-                        continue;
-                    }
-                    for &tp_me in &TP_CHOICES {
-                        for &tp_mg in &TP_CHOICES {
-                            let cand = Candidate { tp_lm, dp_lm, tp_me, tp_mg };
-                            evaluated += 1;
-                            if let Some(alloc) = solve_inner(spec, profile, &cand, y) {
-                                for slack in TRIM_SLACK_PER_GPU {
-                                    let trimmed = trim_allocation(spec, profile, &cand, alloc, slack);
-                                    ranked.push((trimmed.objective.total(), cand, pp_lm, trimmed));
-                                }
+                // Backbone memory gate (§4.2 constraint).
+                if !cache.backbone_memory.fits(spec.hbm_bytes, pp_lm, tp_lm, dp_lm, spec.microbatch)
+                {
+                    out.memory_rejected += 1;
+                    continue;
+                }
+                for &tp_me in &TP_CHOICES {
+                    for &tp_mg in &TP_CHOICES {
+                        let cand = Candidate { tp_lm, dp_lm, tp_me, tp_mg };
+                        out.evaluated += 1;
+                        if let Some(alloc) = solve_inner(spec, &cache, &cand, y) {
+                            for slack in TRIM_SLACK_PER_GPU {
+                                let trimmed = trim_allocation(spec, &cache, &cand, alloc, slack);
+                                out.entries.push((
+                                    trimmed.objective.total(),
+                                    cand,
+                                    pp_lm,
+                                    trimmed,
+                                ));
                             }
                         }
                     }
                 }
             }
+            out
+        };
+
+        let workers = match self.search_mode {
+            SearchMode::Serial => 1,
+            SearchMode::Parallel => {
+                let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+                (if self.workers == 0 { auto } else { self.workers }).min(pairs.len()).max(1)
+            }
+        };
+
+        let mut shard_wall_times: Vec<std::time::Duration> = Vec::with_capacity(workers);
+        let outcomes: Vec<PairOutcome> = if workers <= 1 {
+            // Serial traversal (also the parallel mode's inline fallback on
+            // single-core hosts — no spawn overhead, same enumeration).
+            let shard_started = std::time::Instant::now();
+            let out: Vec<PairOutcome> = pairs.iter().map(eval_pair).collect();
+            shard_wall_times.push(shard_started.elapsed());
+            out
+        } else {
+            // Scoped worker pool over an atomic work index. Workers record
+            // (pair index, outcome); the merge below restores enumeration
+            // order, so scheduling nondeterminism never reaches the result.
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let mut indexed: Vec<(usize, PairOutcome)> = Vec::with_capacity(pairs.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let shard_started = std::time::Instant::now();
+                            let mut mine: Vec<(usize, PairOutcome)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some(pair) = pairs.get(i) else { break };
+                                mine.push((i, eval_pair(pair)));
+                            }
+                            (mine, shard_started.elapsed())
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    let (mine, wall) = handle.join().expect("search worker must not panic");
+                    indexed.extend(mine);
+                    shard_wall_times.push(wall);
+                }
+            });
+            indexed.sort_unstable_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, o)| o).collect()
+        };
+
+        // Deterministic merge: concatenate per-pair entries in enumeration
+        // order — exactly the vector the serial loop would have built.
+        let mut evaluated = 0usize;
+        let mut memory_rejected = 0usize;
+        let mut ranked: Vec<(f64, Candidate, u32, Allocation)> = Vec::new();
+        for outcome in outcomes {
+            evaluated += outcome.evaluated;
+            memory_rejected += outcome.memory_rejected;
+            ranked.extend(outcome.entries);
         }
 
+        if evaluated == 0 {
+            return Err(if memory_rejected > 0 {
+                PlanError::NoMemoryFeasiblePoint { candidates_evaluated: 0, memory_rejected }
+            } else {
+                PlanError::EmptyLattice { pairs_considered: pairs.len() }
+            });
+        }
+
+        // Stable sort on the objective: ties keep enumeration order, the
+        // same tie-break in both search modes.
         ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("objective values are finite"));
 
         // Return the best plans that survive full validation (memory of
         // all three modules, divisibility, cluster size). Keep only the
         // best allocation per distinct backbone shape so the trial phase
         // compares genuinely different strategies, not x/z micro-variants.
+        let k = self.top_k.max(1);
         let mut out: Vec<PlanReport> = Vec::with_capacity(k);
         let mut seen: Vec<((u32, u32, u32), u32)> = Vec::new();
         for (_, cand, pp_lm, alloc) in ranked {
@@ -196,14 +544,23 @@ impl Orchestrator {
                     plan,
                     objective: alloc.objective,
                     candidates_evaluated: evaluated,
+                    cache_hits: cache.hits(),
                     solve_wall_time: started.elapsed(),
+                    search_mode: self.search_mode,
+                    shard_wall_times: shard_wall_times.clone(),
                 });
                 if out.len() >= k {
                     break;
                 }
             }
         }
-        out
+        if out.is_empty() {
+            return Err(PlanError::NoMemoryFeasiblePoint {
+                candidates_evaluated: evaluated,
+                memory_rejected,
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -226,6 +583,14 @@ mod tests {
         }
     }
 
+    fn profile_for(model: &MultimodalLlm, nodes: u32, seed: u64) -> TaskProfile {
+        let gpu = GpuSpec::ampere();
+        let coll = CollectiveCost::new(ClusterSpec::production(nodes));
+        let perf = PerfModel::new(model, &gpu, &coll);
+        let mut data = SyntheticLaion::new(DataConfig::evaluation(model.gen_resolution), seed);
+        Profiler.profile(&perf, &data.take(64))
+    }
+
     fn plan_for(preset: MllmPreset, n: u32, bs: u32) -> PlanReport {
         let model = preset.build();
         let gpu = GpuSpec::ampere();
@@ -243,7 +608,9 @@ mod tests {
         let r = plan_for(MllmPreset::Mllm9B, 96, 128);
         assert!(r.plan.total_gpus() <= 96);
         assert!(r.candidates_evaluated > 100);
+        assert!(r.cache_hits > r.candidates_evaluated as u64, "each evaluation does several lookups");
         assert!(r.solve_wall_time.as_secs_f64() < 5.0);
+        assert!(!r.shard_wall_times.is_empty());
         // The backbone must receive the lion's share for a 7B-dominated
         // model at 512² generation.
         assert!(r.plan.backbone.gpus() > r.plan.encoder.gpus());
@@ -301,17 +668,55 @@ mod tests {
     }
 
     #[test]
+    fn parallel_search_matches_serial_bit_for_bit() {
+        // The tentpole guarantee: sharding the outer lattice across real
+        // worker threads (forced via `workers`, so this exercises the
+        // threaded path even on a single-core host) changes nothing —
+        // same plans, same ranking, same counts, same objective bits.
+        let model = MllmPreset::Mllm15B.build();
+        let profile = profile_for(&model, 12, 17);
+        let s = spec(96, 64);
+        let serial = Orchestrator::builder()
+            .spec(s)
+            .search_mode(SearchMode::Serial)
+            .build()
+            .unwrap()
+            .plan_candidates(&model, &profile)
+            .unwrap();
+        for workers in [2usize, 3, 5] {
+            let parallel = Orchestrator::builder()
+                .spec(s)
+                .search_mode(SearchMode::Parallel)
+                .workers(workers)
+                .build()
+                .unwrap()
+                .plan_candidates(&model, &profile)
+                .unwrap();
+            assert_eq!(serial.len(), parallel.len(), "workers={workers}");
+            assert_eq!(parallel[0].shard_wall_times.len(), workers.min(parallel[0].shard_wall_times.len().max(1)));
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.plan, b.plan, "workers={workers}");
+                assert_eq!(a.candidates_evaluated, b.candidates_evaluated);
+                assert_eq!(a.cache_hits, b.cache_hits);
+                assert_eq!(
+                    a.objective.total().to_bits(),
+                    b.objective.total().to_bits(),
+                    "objective must be bit-identical (workers={workers})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn degraded_replan_fits_the_smaller_cluster() {
         let model = MllmPreset::Mllm9B.build();
-        let gpu = GpuSpec::ampere();
-        let coll = CollectiveCost::new(ClusterSpec::production(12));
-        let perf = PerfModel::new(&model, &gpu, &coll);
-        let mut data = SyntheticLaion::new(DataConfig::evaluation(model.gen_resolution), 17);
-        let samples = data.take(64);
-        let profile = crate::profiler::Profiler.profile(&perf, &samples);
-        let orch = Orchestrator::new(spec(96, 128));
-        let degraded = orch.replan_degraded(&model, &profile, 88, 3);
-        assert!(!degraded.is_empty(), "one lost node must still be plannable");
+        let profile = profile_for(&model, 12, 17);
+        let orch = Orchestrator::builder().spec(spec(96, 128)).top_k(3).build().unwrap();
+        let degraded = orch
+            .replan_degraded(&model, &profile, 88)
+            .expect("one lost node must still be plannable");
+        assert!(!degraded.is_empty());
+        assert!(degraded.len() <= 3, "top_k caps the shortlist");
         for r in &degraded {
             assert!(r.plan.total_gpus() <= 88, "plan uses {} of 88 GPUs", r.plan.total_gpus());
         }
@@ -323,5 +728,71 @@ mod tests {
     fn tiny_cluster_still_plans() {
         let r = plan_for(MllmPreset::Mllm9B, 24, 16);
         assert!(r.plan.total_gpus() <= 24);
+    }
+
+    #[test]
+    fn two_gpu_cluster_reports_cluster_too_small() {
+        let model = MllmPreset::Mllm9B.build();
+        let profile = profile_for(&model, 1, 17);
+        let err = Orchestrator::new(spec(2, 16)).plan_with_profile(&model, &profile).unwrap_err();
+        assert_eq!(err, PlanError::ClusterTooSmall { total_gpus: 2, min_required: 3 });
+    }
+
+    #[test]
+    fn tiny_hbm_reports_no_memory_feasible_point() {
+        let model = MllmPreset::Mllm9B.build();
+        let profile = profile_for(&model, 12, 17);
+        let mut s = spec(96, 128);
+        s.hbm_bytes = 1 << 28; // 256 MiB: nothing fits
+        let err = Orchestrator::new(s).plan_with_profile(&model, &profile).unwrap_err();
+        match err {
+            PlanError::NoMemoryFeasiblePoint { memory_rejected, .. } => {
+                assert!(memory_rejected > 0, "the HBM gate must have fired")
+            }
+            other => panic!("expected NoMemoryFeasiblePoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indivisible_batch_reports_empty_lattice() {
+        let model = MllmPreset::Mllm9B.build();
+        let profile = profile_for(&model, 12, 17);
+        let mut s = spec(96, 16);
+        s.microbatch = 32; // BS/M = 0: no DP divisor exists
+        let err = Orchestrator::new(s).plan_with_profile(&model, &profile).unwrap_err();
+        assert_eq!(err, PlanError::EmptyLattice { pairs_considered: 0 });
+    }
+
+    #[test]
+    fn builder_validates_each_knob() {
+        let ok = Orchestrator::builder().total_gpus(96).global_batch(128).build();
+        assert!(ok.is_ok());
+        for (builder, field) in [
+            (Orchestrator::builder().global_batch(128), "total_gpus"),
+            (Orchestrator::builder().total_gpus(96), "global_batch"),
+            (Orchestrator::builder().total_gpus(96).global_batch(128).microbatch(0), "microbatch"),
+            (Orchestrator::builder().total_gpus(96).global_batch(128).vpp(0), "vpp"),
+            (Orchestrator::builder().total_gpus(96).global_batch(128).top_k(0), "top_k"),
+            (
+                Orchestrator::builder().total_gpus(96).global_batch(128).pp_hop_secs(f64::NAN),
+                "pp_hop_secs",
+            ),
+        ] {
+            match builder.build() {
+                Err(PlanError::InvalidSpec { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidSpec for {field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn new_is_a_thin_shim_over_the_builder_defaults() {
+        let s = spec(96, 128);
+        let a = Orchestrator::new(s);
+        let b = Orchestrator::builder().spec(s).build().unwrap();
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.search_mode, b.search_mode);
+        assert_eq!(a.top_k, b.top_k);
+        assert_eq!(a.workers, b.workers);
     }
 }

@@ -29,7 +29,7 @@ pub struct ModuleProfile {
     pub train_points: Vec<(u32, f64)>,
 }
 
-fn interp(points: &[(u32, f64)], tp: u32) -> f64 {
+pub(crate) fn interp(points: &[(u32, f64)], tp: u32) -> f64 {
     debug_assert!(!points.is_empty());
     if let Some(&(_, v)) = points.iter().find(|&&(t, _)| t == tp) {
         return v;
@@ -65,6 +65,19 @@ impl ModuleProfile {
     }
 }
 
+/// Per-sample forward+backward cost lookup — the `C(TP)` functions the
+/// §4.2 objective consumes. Implemented by [`TaskProfile`] (interpolating
+/// the trial points on every call) and by
+/// [`crate::cache::PerfCache`] (a prebuilt table over the trial TPs,
+/// shared read-only across the parallel search workers). The solver and
+/// objective are generic over this trait so both paths produce
+/// bit-identical numbers.
+pub trait TrainCost {
+    /// Interpolated forward+backward seconds per sample for `module` at
+    /// TP size `tp`.
+    fn train_cost(&self, module: ModuleKind, tp: u32) -> f64;
+}
+
 /// The full profile for one training task.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskProfile {
@@ -86,6 +99,12 @@ impl TaskProfile {
             ModuleKind::Backbone => &self.backbone,
             ModuleKind::Generator => &self.generator,
         }
+    }
+}
+
+impl TrainCost for TaskProfile {
+    fn train_cost(&self, module: ModuleKind, tp: u32) -> f64 {
+        self.module(module).train(tp)
     }
 }
 

@@ -16,7 +16,8 @@
 //! brute force over the entire lattice.
 
 use crate::formulate::{objective, Candidate, Objective, ProblemSpec};
-use crate::profiler::TaskProfile;
+use crate::profiler::TrainCost;
+use dt_model::ModuleKind;
 
 /// Outcome of one inner solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,9 +34,13 @@ pub struct Allocation {
 
 /// Solve the inner allocation for a fixed candidate and fixed `y`.
 /// Returns `None` when no feasible `(x, z)` exists.
-pub fn solve_inner(
+///
+/// Generic over the cost source ([`TrainCost`]): the search passes its
+/// memoized [`crate::cache::PerfCache`], tests pass synthetic
+/// [`crate::profiler::TaskProfile`]s directly.
+pub fn solve_inner<C: TrainCost + ?Sized>(
     spec: &ProblemSpec,
-    profile: &TaskProfile,
+    costs: &C,
     cand: &Candidate,
     y: u32,
 ) -> Option<Allocation> {
@@ -50,10 +55,10 @@ pub fn solve_inner(
     // miss (the golden-section path exists for the 1000+-GPU scales where
     // the lattice is dense relative to the objective's curvature).
     if remainder / cand.tp_me.min(cand.tp_mg) <= 512 {
-        return solve_inner_brute(spec, profile, cand, y);
+        return solve_inner_brute(spec, costs, cand, y);
     }
 
-    let eval = |x: u32, z: u32| objective(spec, profile, cand, x, y, z).map(|o| o.total());
+    let eval = |x: u32, z: u32| objective(spec, costs, cand, x, y, z).map(|o| o.total());
 
     // Golden-section search over continuous x ∈ [x_min, R − z_min] with
     // z = R − x (the objective is convex in x along that line).
@@ -65,9 +70,9 @@ pub fn solve_inner(
         let n_mb = (spec.global_batch / (cand.dp_lm * spec.microbatch).max(1)).max(1) as f64;
         let m = spec.microbatch as f64;
         let dp = cand.dp_lm as f64;
-        let c_lm = profile.backbone.train(cand.tp_lm);
-        let c_me = profile.encoder.train(cand.tp_me);
-        let c_mg = profile.generator.train(cand.tp_mg);
+        let c_lm = costs.train_cost(ModuleKind::Backbone, cand.tp_lm);
+        let c_me = costs.train_cost(ModuleKind::Encoder, cand.tp_me);
+        let c_mg = costs.train_cost(ModuleKind::Generator, cand.tp_mg);
         let t_lm = dp * cand.tp_lm as f64 * m * c_lm / y as f64;
         let t_me = dp * cand.tp_me as f64 * m * c_me / x;
         let t_mg = dp * cand.tp_mg as f64 * m * c_mg / z;
@@ -105,7 +110,7 @@ pub fn solve_inner(
             continue;
         }
         if let Some(total) = eval(x, z) {
-            let obj = objective(spec, profile, cand, x, y, z).expect("eval succeeded");
+            let obj = objective(spec, costs, cand, x, y, z).expect("eval succeeded");
             if best.is_none_or(|b| total < b.objective.total()) {
                 best = Some(Allocation { x, y, z, objective: obj });
             }
@@ -121,9 +126,9 @@ pub fn solve_inner(
 /// the objective by at most `per_gpu_slack` (relative) per GPU freed.
 /// Freed GPUs go "to concurrent tasks such as fine-tuning or inference",
 /// and MFU (normalized by allocated GPUs) improves.
-pub fn trim_allocation(
+pub fn trim_allocation<C: TrainCost + ?Sized>(
     spec: &ProblemSpec,
-    profile: &TaskProfile,
+    costs: &C,
     cand: &Candidate,
     best: Allocation,
     per_gpu_slack: f64,
@@ -140,7 +145,7 @@ pub fn trim_allocation(
             if x < cand.tp_me || z < cand.tp_mg {
                 continue;
             }
-            if let Some(obj) = objective(spec, profile, cand, x, cur.y, z) {
+            if let Some(obj) = objective(spec, costs, cand, x, cur.y, z) {
                 let budget = cur.objective.total() * (1.0 + per_gpu_slack.max(0.0) * freed as f64);
                 if obj.total() <= budget {
                     cur = Allocation { x, y: cur.y, z, objective: obj };
@@ -156,9 +161,9 @@ pub fn trim_allocation(
 
 /// Brute-force inner solve over the whole lattice — exponential-free but
 /// `O(R/TP_me)`; used by tests and available for verification runs.
-pub fn solve_inner_brute(
+pub fn solve_inner_brute<C: TrainCost + ?Sized>(
     spec: &ProblemSpec,
-    profile: &TaskProfile,
+    costs: &C,
     cand: &Candidate,
     y: u32,
 ) -> Option<Allocation> {
@@ -168,7 +173,7 @@ pub fn solve_inner_brute(
     while x + cand.tp_mg <= remainder {
         let z = ((remainder - x) / cand.tp_mg) * cand.tp_mg;
         if z >= cand.tp_mg {
-            if let Some(obj) = objective(spec, profile, cand, x, y, z) {
+            if let Some(obj) = objective(spec, costs, cand, x, y, z) {
                 if best.is_none_or(|b| obj.total() < b.objective.total()) {
                     best = Some(Allocation { x, y, z, objective: obj });
                 }
@@ -182,7 +187,7 @@ pub fn solve_inner_brute(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profiler::ModuleProfile;
+    use crate::profiler::{ModuleProfile, TaskProfile};
     use dt_model::mllm::SampleShape;
     use dt_simengine::DetRng;
 

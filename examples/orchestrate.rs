@@ -6,14 +6,15 @@
 //!
 //! Shows the §4 manager adapting GPU splits and parallelism as the
 //! cluster grows and as modules freeze — the behavior the monolithic
-//! baseline fundamentally cannot express.
+//! baseline fundamentally cannot express — and, when a task is
+//! infeasible, the planner's one-line [`PlanError`] diagnosis instead of
+//! a silent `None`.
 
-use disttrain::core::{SystemKind, TrainingTask};
-use disttrain::model::{FreezeConfig, MllmPreset, MultimodalLlm};
+use disttrain::prelude::*;
 
 fn show(task: &TrainingTask, label: &str) {
     match task.plan(SystemKind::DistTrain) {
-        Some(plan) => {
+        Ok(plan) => {
             println!(
                 "{label:<34} enc {:>3} | bb {:>4} (TP{} DP{} PP{}) | gen {:>3} | total {:>4}/{}",
                 plan.encoder.gpus(),
@@ -26,7 +27,7 @@ fn show(task: &TrainingTask, label: &str) {
                 task.cluster.total_gpus(),
             );
         }
-        None => println!("{label:<34} no feasible plan"),
+        Err(e) => println!("{label:<34} no feasible plan: {e}"),
     }
 }
 
@@ -34,7 +35,7 @@ fn main() {
     println!("== scaling the cluster (MLLM-15B, BS grows with the cluster) ==");
     for (nodes, bs) in [(4u32, 32u32), (12, 64), (40, 320), (81, 960)] {
         let mut task = TrainingTask::ablation(MllmPreset::Mllm15B.build(), bs);
-        task.cluster = disttrain::cluster::ClusterSpec::production(nodes);
+        task.cluster = ClusterSpec::production(nodes);
         show(&task, &format!("{} GPUs, batch {bs}", nodes * 8));
     }
 
@@ -54,7 +55,18 @@ fn main() {
     println!("\n== generation resolution changes the split (MLLM-72B, 96 GPUs) ==");
     for res in [512u32, 1024] {
         let mut task = TrainingTask::ablation(MllmPreset::Mllm72B.build(), 40);
-        task.data = disttrain::data::DataConfig::evaluation(res);
+        task.data = DataConfig::evaluation(res);
         show(&task, &format!("generate at {res}x{res}"));
+    }
+
+    println!("\n== infeasible tasks diagnose themselves ==");
+    let mut tiny = TrainingTask::ablation(MllmPreset::Mllm72B.build(), 8);
+    tiny.cluster = ClusterSpec::production(1);
+    show(&tiny, "MLLM-72B on 8 GPUs");
+    match Orchestrator::builder().total_gpus(96).build() {
+        Err(PlanError::InvalidSpec { field, reason }) => {
+            println!("{:<34} builder rejects `{field}`: {reason}", "unset global batch");
+        }
+        other => println!("unexpected builder outcome: {other:?}"),
     }
 }

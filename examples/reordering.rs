@@ -59,10 +59,9 @@ fn main() {
     let plan = task.plan(disttrain::core::SystemKind::DistTrain).expect("plan");
     let mut random_cfg = task.runtime_config(disttrain::core::SystemKind::DistTrain, 2);
     random_cfg.reorder = ReorderMode::None;
-    let random = task.run_with_plan(plan, random_cfg).unwrap();
-    let reordered = task
-        .run_with_plan(plan, task.runtime_config(disttrain::core::SystemKind::DistTrain, 2))
-        .unwrap();
+    let random = task.run_with_plan(plan, random_cfg);
+    let reordered =
+        task.run_with_plan(plan, task.runtime_config(disttrain::core::SystemKind::DistTrain, 2));
     println!(
         "  random order: {:.2}s/iter ({:.1}% MFU)   reordered: {:.2}s/iter ({:.1}% MFU)",
         random.mean_iter_secs(),

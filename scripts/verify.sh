@@ -22,4 +22,12 @@ cargo test --doc --workspace -q
 echo "==> RUSTDOCFLAGS=\"-D warnings\" cargo doc --no-deps --workspace"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
+echo "==> bench_orchestrator smoke (BENCH_solver.json + serial-vs-parallel gate)"
+# The bench itself fails (exit != 0) if the parallel search is slower than
+# the serial reference at the 96-GPU point on a multi-worker host. Cargo
+# runs benches from the package dir, so pin the output to the repo root.
+DT_BENCH_ITERS="${DT_BENCH_ITERS:-3}" DT_BENCH_SOLVER_JSON="$PWD/BENCH_solver.json" \
+    cargo bench -p dt-bench --bench bench_orchestrator --quiet
+test -s BENCH_solver.json || { echo "BENCH_solver.json missing or empty" >&2; exit 1; }
+
 echo "==> all checks passed"

@@ -2,13 +2,33 @@
 //!
 //! Re-exports the whole DistTrain reproduction workspace under one roof so
 //! examples, integration tests, and downstream users can depend on a single
-//! crate:
+//! crate. [`prelude`] carries everything the quickstart needs — describe a
+//! task, build a planner, plan, run:
 //!
 //! ```
 //! use disttrain::prelude::*;
 //!
-//! let cluster = ClusterSpec::production(2);
-//! assert_eq!(cluster.total_gpus(), 16);
+//! // MLLM-9B (ViT-Huge + Llama3-7B + SD 2.1) on the §7.2 ablation cluster.
+//! let preset = MllmPreset::Mllm9B;
+//! let task = TrainingTask::ablation(preset.build(), preset.ablation_global_batch());
+//!
+//! // The §4 planner: memoized, lattice-sharded parallel search with a
+//! // bit-identical serial reference mode.
+//! let orch = Orchestrator::builder()
+//!     .spec(task.problem_spec())
+//!     .search_mode(SearchMode::Parallel)
+//!     .top_k(4)
+//!     .build()
+//!     .expect("a validated planner");
+//! let report = task
+//!     .plan(SystemKind::DistTrain)
+//!     .expect("the ablation cluster is feasible");
+//! assert!(report.total_gpus() <= task.cluster.total_gpus());
+//!
+//! // Infeasible problems explain themselves in one line instead of `None`.
+//! let err = Orchestrator::builder().global_batch(128).build().unwrap_err();
+//! assert!(matches!(err, PlanError::InvalidSpec { field: "total_gpus", .. }));
+//! drop(orch);
 //! ```
 //!
 //! The `examples/pipeline_timeline.rs` walkthrough — simulate a 1F1B
@@ -73,8 +93,20 @@ pub use dt_reorder as reorder;
 pub use dt_simengine as simengine;
 pub use dt_stepccl as stepccl;
 
-/// The most commonly used types, re-exported flat.
+/// The most commonly used types, re-exported flat: enough to describe a
+/// training task, build the §4 planner, diagnose its failures, and run the
+/// simulated training loop without naming individual workspace crates.
 pub mod prelude {
     pub use crate::cluster::{ClusterSpec, CollectiveCost, GpuSpec, NodeSpec};
+    pub use crate::core::{
+        RuntimeConfig, SystemKind, TrainingReport, TrainingSystem, TrainingTask,
+    };
+    pub use crate::data::{DataConfig, SyntheticLaion};
+    pub use crate::model::{FreezeConfig, MllmPreset, ModuleKind, MultimodalLlm};
+    pub use crate::orchestrator::{
+        Orchestrator, OrchestratorBuilder, PerfModel, PlanError, PlanReport, Profiler,
+        SearchMode, TaskProfile,
+    };
+    pub use crate::parallel::{ModulePlan, OrchestrationPlan};
     pub use crate::simengine::{DetRng, SimDuration, SimTime};
 }

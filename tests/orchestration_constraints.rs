@@ -7,9 +7,13 @@ use disttrain::core::{SystemKind, TrainingTask};
 use disttrain::model::{MllmPreset, ModuleKind};
 
 fn check_plan(task: &TrainingTask, kind: SystemKind) {
-    let Some(plan) = task.plan(kind) else {
-        panic!("{kind} failed to plan {} on {} GPUs", task.model.name, task.cluster.total_gpus());
-    };
+    let plan = task.plan(kind).unwrap_or_else(|e| {
+        panic!(
+            "{kind} failed to plan {} on {} GPUs: {e}",
+            task.model.name,
+            task.cluster.total_gpus()
+        )
+    });
     // Re-validate through the public validator.
     let shape = dt_model::mllm::SampleShape {
         text_tokens: 4096,
@@ -66,12 +70,28 @@ fn production_scale_plans_are_valid() {
 }
 
 #[test]
-fn infeasible_tasks_return_none_instead_of_panicking() {
-    // 70B with 8 GPUs cannot hold the weights at any parallelism.
+fn infeasible_tasks_return_a_diagnosis_instead_of_panicking() {
+    // 70B with 8 GPUs cannot hold the weights at any parallelism; each
+    // planner says why in one line instead of a bare `None` — DistTrain's
+    // search dies at the memory gate, Megatron's monolithic layout needs
+    // TP8 × (PP+2) stages the cluster cannot offer.
+    use disttrain::orchestrator::PlanError;
     let mut task = TrainingTask::ablation(MllmPreset::Mllm72B.build(), 8);
     task.cluster = ClusterSpec::production(1);
-    assert!(task.plan(SystemKind::DistTrain).is_none());
-    assert!(task.plan(SystemKind::MegatronLM).is_none());
+    let dt = task.plan(SystemKind::DistTrain).expect_err("8 GPUs cannot hold a 72B model");
+    assert!(
+        matches!(dt, PlanError::NoMemoryFeasiblePoint { .. }),
+        "DistTrain: expected a memory diagnosis, got {dt:?}"
+    );
+    let mg = task.plan(SystemKind::MegatronLM).expect_err("8 GPUs cannot host 12 stages");
+    assert!(
+        matches!(mg, PlanError::ClusterTooSmall { .. }),
+        "Megatron-LM: expected a cluster-size diagnosis, got {mg:?}"
+    );
+    for err in [dt, mg] {
+        let s = err.to_string();
+        assert!(!s.is_empty() && !s.contains('\n'), "one-line diagnosis: {s}");
+    }
 }
 
 #[test]
@@ -81,7 +101,7 @@ fn orchestration_objective_never_misses_the_budget() {
     for nodes in [3u32, 7, 11, 23] {
         let mut task = TrainingTask::ablation(MllmPreset::Mllm9B.build(), 48);
         task.cluster = ClusterSpec::production(nodes);
-        if let Some(plan) = task.plan(SystemKind::DistTrain) {
+        if let Ok(plan) = task.plan(SystemKind::DistTrain) {
             assert!(plan.total_gpus() <= nodes * 8, "{} > {}", plan.total_gpus(), nodes * 8);
         }
     }

@@ -1,0 +1,165 @@
+//! The redesigned planner API, end to end through the facade: the
+//! parallel search is bit-identical to the serial reference across a
+//! seeded sweep of problem specs, and every failure mode diagnoses
+//! itself with the right [`PlanError`] variant.
+
+use disttrain::orchestrator::formulate::ProblemSpec;
+use disttrain::prelude::*;
+
+fn profile_for(model: &MultimodalLlm, nodes: u32, seed: u64) -> TaskProfile {
+    let gpu = GpuSpec::ampere();
+    let coll = CollectiveCost::new(ClusterSpec::production(nodes));
+    let perf = PerfModel::new(model, &gpu, &coll);
+    let mut data = SyntheticLaion::new(DataConfig::evaluation(model.gen_resolution), seed);
+    Profiler.profile(&perf, &data.take(64))
+}
+
+/// The tentpole acceptance sweep: 24 random problem specs, each solved
+/// serially and with the lattice sharded across 4 forced worker threads.
+/// The outcomes must match exactly — same `Ok`/`Err` variant, same plans
+/// in the same order, bit-identical objectives, identical evaluation and
+/// cache counts.
+#[test]
+fn parallel_search_is_bit_identical_to_serial_across_a_seeded_sweep() {
+    let model = MllmPreset::Mllm15B.build();
+    let profile = profile_for(&model, 12, 17);
+    let mut rng = DetRng::new(2024);
+    let mut feasible = 0u32;
+    for case in 0..24u32 {
+        let total_gpus = 8 * [3u32, 6, 11, 12, 24, 40][rng.range_usize(0, 6)];
+        let global_batch = [16u32, 40, 64, 96, 128, 240][rng.range_usize(0, 6)];
+        let microbatch = [1u32, 2][rng.range_usize(0, 2)];
+        let vpp = [1u32, 2][rng.range_usize(0, 2)];
+        let pp_hop_secs = [0.0, 0.02][rng.range_usize(0, 2)];
+        let spec = ProblemSpec {
+            total_gpus,
+            gpus_per_node: 8,
+            hbm_bytes: 80 * (1 << 30),
+            global_batch,
+            microbatch,
+            vpp,
+            pp_hop_secs,
+        };
+        let solve = |mode: SearchMode, workers: usize| {
+            Orchestrator::builder()
+                .spec(spec)
+                .search_mode(mode)
+                .workers(workers)
+                .build()
+                .expect("the sweep generates valid specs")
+                .plan_candidates(&model, &profile)
+        };
+        let serial = solve(SearchMode::Serial, 0);
+        let parallel = solve(SearchMode::Parallel, 4);
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                feasible += 1;
+                assert_eq!(s.len(), p.len(), "case {case} ({spec:?})");
+                for (a, b) in s.iter().zip(&p) {
+                    assert_eq!(a.plan, b.plan, "case {case} ({spec:?})");
+                    assert_eq!(a.candidates_evaluated, b.candidates_evaluated, "case {case}");
+                    assert_eq!(a.cache_hits, b.cache_hits, "case {case}");
+                    assert_eq!(
+                        a.objective.total().to_bits(),
+                        b.objective.total().to_bits(),
+                        "case {case}: objectives must be bit-identical"
+                    );
+                }
+            }
+            (Err(se), Err(pe)) => assert_eq!(se, pe, "case {case} ({spec:?})"),
+            (s, p) => panic!("case {case} ({spec:?}): serial {s:?} vs parallel {p:?}"),
+        }
+    }
+    assert!(feasible >= 10, "the sweep must exercise real searches, got {feasible} feasible");
+}
+
+#[test]
+fn hbm_starvation_diagnoses_as_no_memory_feasible_point() {
+    let model = MllmPreset::Mllm9B.build();
+    let profile = profile_for(&model, 12, 17);
+    let orch = Orchestrator::builder()
+        .total_gpus(96)
+        .global_batch(128)
+        .hbm_bytes(1 << 28) // 256 MiB per GPU: nothing fits
+        .build()
+        .unwrap();
+    match orch.plan_with_profile(&model, &profile) {
+        Err(PlanError::NoMemoryFeasiblePoint { memory_rejected, .. }) => {
+            assert!(memory_rejected > 0)
+        }
+        other => panic!("expected NoMemoryFeasiblePoint, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_gpu_cluster_diagnoses_as_cluster_too_small() {
+    let model = MllmPreset::Mllm9B.build();
+    let profile = profile_for(&model, 1, 17);
+    let orch = Orchestrator::builder().total_gpus(2).global_batch(16).build().unwrap();
+    assert_eq!(
+        orch.plan_with_profile(&model, &profile).unwrap_err(),
+        PlanError::ClusterTooSmall { total_gpus: 2, min_required: 3 }
+    );
+}
+
+#[test]
+fn indivisible_batch_diagnoses_as_empty_lattice() {
+    let model = MllmPreset::Mllm9B.build();
+    let profile = profile_for(&model, 12, 17);
+    let orch =
+        Orchestrator::builder().total_gpus(96).global_batch(16).microbatch(32).build().unwrap();
+    assert_eq!(
+        orch.plan_with_profile(&model, &profile).unwrap_err(),
+        PlanError::EmptyLattice { pairs_considered: 0 }
+    );
+}
+
+#[test]
+fn builder_rejects_malformed_knobs_with_the_field_name() {
+    let err = Orchestrator::builder().total_gpus(96).build().unwrap_err();
+    assert!(matches!(err, PlanError::InvalidSpec { field: "global_batch", .. }), "{err:?}");
+    let err =
+        Orchestrator::builder().total_gpus(96).global_batch(128).top_k(0).build().unwrap_err();
+    assert!(matches!(err, PlanError::InvalidSpec { field: "top_k", .. }), "{err:?}");
+}
+
+#[test]
+fn top_k_caps_the_candidate_shortlist() {
+    let model = MllmPreset::Mllm9B.build();
+    let profile = profile_for(&model, 12, 17);
+    let for_k = |k: usize| {
+        Orchestrator::builder()
+            .total_gpus(96)
+            .global_batch(128)
+            .top_k(k)
+            .build()
+            .unwrap()
+            .plan_candidates(&model, &profile)
+            .unwrap()
+    };
+    let two = for_k(2);
+    let eight = for_k(8);
+    assert_eq!(two.len(), 2);
+    assert!(eight.len() > two.len() && eight.len() <= 8);
+    assert_eq!(two[0].plan, eight[0].plan, "top_k only truncates the ranking");
+}
+
+#[test]
+fn plan_report_exposes_the_search_diagnostics() {
+    let model = MllmPreset::Mllm9B.build();
+    let profile = profile_for(&model, 12, 17);
+    let report = Orchestrator::builder()
+        .total_gpus(96)
+        .global_batch(128)
+        .search_mode(SearchMode::Parallel)
+        .workers(3)
+        .build()
+        .unwrap()
+        .plan_with_profile(&model, &profile)
+        .unwrap();
+    assert_eq!(report.search_mode, SearchMode::Parallel);
+    assert!(report.candidates_evaluated > 0);
+    assert!(report.cache_hits > report.candidates_evaluated as u64);
+    assert_eq!(report.shard_wall_times.len(), 3, "one wall time per forced worker");
+    assert!(report.solve_wall_time.as_secs_f64() > 0.0);
+}
