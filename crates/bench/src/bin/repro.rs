@@ -1,31 +1,45 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro all                      # every experiment, presentation order
-//! repro fig13 fig14              # specific experiments
-//! repro list                     # what exists
-//! repro fig13 --trace out.json   # also run the traced observability demo
-//! repro elastic --trace out.json # elastic multi-failure run, Chrome trace
-//! repro all --json out.json      # archive every table as JSON
+//! repro all                       # every experiment, presentation order
+//! repro fig13 fig14               # specific experiments
+//! repro list                      # what exists
+//! repro fig13 --trace out.json    # also run the traced observability demo
+//! repro elastic --trace out.json  # elastic multi-failure run, Chrome trace
+//! repro all --json out.json       # archive every table as JSON
+//! repro zoo --metrics out.prom    # metered demo: Prometheus text + JSON
 //! ```
 //!
 //! Flags may appear anywhere (before or after experiment names). An empty
-//! experiment list and any unknown experiment name are errors (exit
-//! code 2) — a misspelled or missing name never silently degrades a
-//! regeneration run. `--trace` alongside the `elastic` experiment traces
-//! the elastic run itself; with any other selection it runs the default
-//! traced observability demo (Chrome JSON + per-module breakdown +
-//! per-rank Gantt) before the experiments.
+//! experiment list, any unknown experiment name, an unknown flag, and a
+//! flag missing its value are errors (exit code 2) — a misspelled or
+//! missing name never silently degrades a regeneration run. `--trace`
+//! alongside the `elastic` experiment traces the elastic run itself; with
+//! any other selection it runs the default traced observability demo
+//! (Chrome JSON + per-module breakdown + per-rank Gantt) before the
+//! experiments. `--metrics <path>` runs the default metered demo (core
+//! runtime, pipeline, real preprocessing service, orchestration search,
+//! and elastic failover, all into one shared registry), writes the
+//! Prometheus text exposition to `<path>` and the machine-readable
+//! archive to `<path>.json`, and prints the metrics summary table; it
+//! composes freely with `--json` and `--trace`.
 //!
 //! Build with `--release`: the production-scale simulations (fig13/fig14)
 //! and the real preprocessing measurements (fig17) are CPU-heavy.
 
 use dt_bench::experiments::{self, Experiment};
-use dt_bench::tracebench;
+use dt_bench::{metricsbench, tracebench};
 use dt_simengine::Json;
 
+/// Every flag the parser accepts; error messages enumerate these so a typo
+/// points straight at the valid spellings.
+const FLAGS: [&str; 3] = ["--trace", "--json", "--metrics"];
+
 fn usage(all: &[Experiment]) {
-    eprintln!("usage: repro [--trace <path>] [--json <path>] <experiment>... | all | list");
+    eprintln!(
+        "usage: repro [--trace <path>] [--json <path>] [--metrics <path>] \
+         <experiment>... | all | list"
+    );
     eprintln!("experiments:");
     for (name, _) in all {
         eprintln!("  {name}");
@@ -49,6 +63,27 @@ fn run_traced(path: &str) {
     );
 }
 
+fn run_metered(path: &str) {
+    let started = std::time::Instant::now();
+    let run = metricsbench::default_metrics_run();
+    let snap = run.snapshot();
+    if let Err(e) = std::fs::write(path, snap.to_prometheus_text()) {
+        eprintln!("error: cannot write metrics to '{path}': {e}");
+        std::process::exit(1);
+    }
+    let archive = format!("{path}.json");
+    if let Err(e) = std::fs::write(&archive, format!("{}\n", snap.to_json())) {
+        eprintln!("error: cannot write metrics archive to '{archive}': {e}");
+        std::process::exit(1);
+    }
+    println!("{}", metricsbench::metrics_summary(&snap).render());
+    println!(
+        "   [metered {} metric series into {path} (+ {archive}) in {:.1}s]\n",
+        snap.entries.len(),
+        started.elapsed().as_secs_f64()
+    );
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let all = experiments::all();
@@ -56,18 +91,22 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut i = 0;
     while i < raw.len() {
         match raw[i].as_str() {
-            flag @ ("--trace" | "--json") => {
+            flag @ ("--trace" | "--json" | "--metrics") => {
                 let Some(value) = raw.get(i + 1) else {
-                    eprintln!("error: {flag} requires an output path");
+                    eprintln!(
+                        "error: {flag} requires an output path (valid flags: {})",
+                        FLAGS.join(", ")
+                    );
                     std::process::exit(2);
                 };
-                if flag == "--trace" {
-                    trace_path = Some(value.clone());
-                } else {
-                    json_path = Some(value.clone());
+                match flag {
+                    "--trace" => trace_path = Some(value.clone()),
+                    "--json" => json_path = Some(value.clone()),
+                    _ => metrics_path = Some(value.clone()),
                 }
                 i += 2;
             }
@@ -76,7 +115,7 @@ fn main() {
                 std::process::exit(0);
             }
             other if other.starts_with('-') => {
-                eprintln!("error: unknown flag '{other}'");
+                eprintln!("error: unknown flag '{other}' (valid flags: {})", FLAGS.join(", "));
                 usage(&all);
                 std::process::exit(2);
             }
@@ -114,6 +153,9 @@ fn main() {
     let elastic_traced = selected.iter().any(|(name, _)| *name == "elastic");
     if let Some(path) = trace_path.as_ref().filter(|_| !elastic_traced) {
         run_traced(path);
+    }
+    if let Some(path) = &metrics_path {
+        run_metered(path);
     }
 
     let mut archived: Vec<(String, dt_bench::Report)> = Vec::new();

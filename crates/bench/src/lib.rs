@@ -14,6 +14,7 @@
 //! or one experiment: `repro fig13`, `repro table3`, `repro zoo`, …
 
 pub mod experiments;
+pub mod metricsbench;
 pub mod report;
 pub mod timing;
 pub mod tracebench;

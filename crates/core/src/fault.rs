@@ -11,13 +11,36 @@
 
 use crate::checkpoint::{CheckpointManager, TrainingState};
 use crate::metrics::{IterationReport, TrainingReport};
-use crate::runtime::Runtime;
+use crate::runtime::{record_iteration_metrics, Runtime};
 use dt_cluster::CollectiveCost;
 use dt_data::{GlobalBatch, SyntheticLaion};
 use dt_simengine::trace::{cat, TraceRecorder, TraceSpan};
 use dt_simengine::{SimDuration, SimTime};
+use dt_telemetry::{names, Telemetry};
 use std::path::Path;
 use std::time::Instant;
+
+/// An injected preprocessing-stall burst: iterations in
+/// `[from, from + len)` suffer `extra` additional stall time (which also
+/// extends their iteration time). Models a transient slowdown of the
+/// preprocessing service — a straggling DPP node, a storage hiccup — as
+/// opposed to the hard crash of [`FaultPlan::fail_at`]; the telemetry
+/// anomaly tests use it to validate the stall-burst detector.
+#[derive(Debug, Clone, Copy)]
+pub struct StallBurst {
+    /// First affected iteration (0-based).
+    pub from: u32,
+    /// Number of consecutive affected iterations.
+    pub len: u32,
+    /// Extra stall added to each affected iteration.
+    pub extra: SimDuration,
+}
+
+impl StallBurst {
+    fn covers(&self, iteration: u32) -> bool {
+        (self.from..self.from + self.len).contains(&iteration)
+    }
+}
 
 /// Failure scenario description.
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +53,8 @@ pub struct FaultPlan {
     /// Time to detect the failure, reschedule, and reload the checkpoint
     /// (job-restart overhead).
     pub restart_overhead: SimDuration,
+    /// Optional preprocessing-stall burst injected alongside the crash.
+    pub stall_burst: Option<StallBurst>,
 }
 
 /// Outcome of a run with one injected failure.
@@ -71,6 +96,26 @@ pub fn run_with_failure_traced(
     ckpt_dir: &Path,
     rec: &mut TraceRecorder,
 ) -> std::io::Result<FaultReport> {
+    run_with_failure_telemetry(runtime, iterations, fault, ckpt_dir, rec, &Telemetry::disabled())
+}
+
+/// [`run_with_failure_traced`] plus registry metrics. Committed
+/// iterations feed the runtime families through
+/// [`record_iteration_metrics`] (so burst-inflated stalls land in the
+/// stall series); the crashed attempt is *not* committed, but its wall
+/// cost (half an iteration plus the restart overhead) is sampled into the
+/// iteration-time series — that spike is exactly the straggler the
+/// anomaly detector is validated against. Fault counters
+/// (`dt_fault_crashes_total`, `dt_fault_checkpoints_total`,
+/// `dt_fault_lost_iterations_total`) track the recovery machinery itself.
+pub fn run_with_failure_telemetry(
+    runtime: &Runtime<'_>,
+    iterations: u32,
+    fault: FaultPlan,
+    ckpt_dir: &Path,
+    rec: &mut TraceRecorder,
+    tel: &Telemetry,
+) -> std::io::Result<FaultReport> {
     let coll = CollectiveCost::new(runtime.cluster.clone());
     let perf = runtime.perf_model(&coll);
     let planner = runtime.planner_for(&perf);
@@ -94,10 +139,21 @@ pub fn run_with_failure_traced(
     let mut it = 0u32;
 
     let trainer_pid = runtime.plan.backbone.dp as u64;
+    let peak = runtime.cluster.node.gpu.peak_flops;
+    // Apply the optional stall burst to an iteration's report.
+    let inflate = |iteration: u32, mut report: IterationReport| -> IterationReport {
+        if let Some(burst) = fault.stall_burst {
+            if burst.covers(iteration) {
+                report.preprocess_stall += burst.extra;
+                report.iter_time += burst.extra;
+            }
+        }
+        report
+    };
     while it < iterations {
         if !crashed && it == fault.fail_at {
             // The crash destroys this iteration's in-flight work…
-            let partial = runtime.simulate_iteration(&perf, &batch_for(it));
+            let partial = inflate(it, runtime.simulate_iteration(&perf, &batch_for(it)));
             let lost_wall = partial.iter_time / 2 + fault.restart_overhead;
             total_wall += lost_wall; // fails mid-iteration
             if rec.is_enabled() {
@@ -111,26 +167,40 @@ pub fn run_with_failure_traced(
                 ));
                 rec.set_origin(rec.origin() + lost_wall);
             }
+            // The aborted attempt's wall cost shows up as a straggler
+            // point on the iteration-time series (it is real elapsed
+            // time), but is never committed to the training report.
+            tel.with(|r| {
+                r.counter(names::FAULT_CRASHES_TOTAL, &[]).inc();
+                r.series(names::SERIES_ITER_TIME, &[])
+                    .sample(SimTime::ZERO + total_wall, lost_wall.as_secs_f64());
+            });
             // …and training resumes from the newest durable checkpoint.
             mgr.wait()?;
             let state = CheckpointManager::recover(ckpt_dir)?;
             let resume_at = state.map_or(0, |s| s.iteration);
             lost_iterations = it - resume_at;
+            tel.with(|r| {
+                r.counter(names::FAULT_LOST_ITERATIONS_TOTAL, &[]).add(lost_iterations as u64)
+            });
             committed.truncate(resume_at as usize);
             it = resume_at;
             crashed = true;
             continue;
         }
-        let report = runtime.simulate_iteration_traced(&perf, &batch_for(it), rec);
+        let report =
+            inflate(it, runtime.simulate_iteration_telemetry(&perf, &batch_for(it), rec, tel));
         total_wall += report.iter_time;
         if rec.is_enabled() {
             rec.set_origin(rec.origin() + report.iter_time);
         }
+        record_iteration_metrics(tel, SimTime::ZERO + total_wall, &report, peak);
         committed.push(report);
         it += 1;
         if it.is_multiple_of(fault.checkpoint_every.max(1)) {
             let enqueue = Instant::now();
             mgr.save_async(&TrainingState { iteration: it, plan: runtime.plan, seed: runtime.cfg.seed })?;
+            tel.with(|r| r.counter(names::FAULT_CHECKPOINTS_TOTAL, &[]).inc());
             if rec.is_enabled() {
                 let blocked = SimDuration::from_nanos(enqueue.elapsed().as_nanos().max(1) as u64);
                 rec.record(TraceSpan::new(
@@ -194,6 +264,7 @@ mod tests {
             fail_at: 4,
             checkpoint_every: 2,
             restart_overhead: SimDuration::from_secs_f64(30.0),
+            stall_burst: None,
         };
         let outcome = run_with_failure(&runtime, 6, fault, &dir).unwrap();
         assert_eq!(outcome.report.iterations.len(), 6);
@@ -220,6 +291,7 @@ mod tests {
             fail_at: 5,
             checkpoint_every: 3,
             restart_overhead: SimDuration::from_secs_f64(30.0),
+            stall_burst: None,
         };
         let outcome = run_with_failure(&runtime, 6, fault, &dir).unwrap();
         // Last checkpoint before the crash is at iteration 3 → 2 lost.
@@ -247,6 +319,7 @@ mod tests {
             fail_at: 3,
             checkpoint_every: 2,
             restart_overhead: SimDuration::from_secs_f64(30.0),
+            stall_burst: None,
         };
         let mut rec = dt_simengine::TraceRecorder::enabled();
         let outcome = run_with_failure_traced(&runtime, 4, fault, &dir, &mut rec).unwrap();
@@ -287,6 +360,7 @@ mod tests {
             fail_at: 1,
             checkpoint_every: 10,
             restart_overhead: SimDuration::from_secs_f64(30.0),
+            stall_burst: None,
         };
         let outcome = run_with_failure(&runtime, 3, fault, &dir).unwrap();
         assert_eq!(outcome.lost_iterations, 1);

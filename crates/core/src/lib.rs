@@ -25,7 +25,10 @@ pub mod runtime;
 pub mod system;
 
 pub use checkpoint::{CheckpointManager, TrainingState};
-pub use fault::{run_with_failure, run_with_failure_traced, FaultPlan, FaultReport};
+pub use fault::{
+    run_with_failure, run_with_failure_telemetry, run_with_failure_traced, FaultPlan, FaultReport,
+    StallBurst,
+};
 pub use metrics::{IterationReport, TrainingReport};
-pub use runtime::{Runtime, RuntimeConfig};
+pub use runtime::{record_iteration_metrics, Runtime, RuntimeConfig};
 pub use system::{PreprocessingMode, SystemKind, TrainingSystem, TrainingTask};

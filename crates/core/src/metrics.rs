@@ -72,29 +72,46 @@ pub struct TrainingReport {
 }
 
 impl TrainingReport {
-    /// Mean MFU across iterations.
+    /// Total run time in seconds.
+    fn total_secs(&self) -> f64 {
+        self.iterations.iter().map(|i| i.iter_time.as_secs_f64()).sum()
+    }
+
+    /// Run-level MFU, time-weighted: total model FLOPs divided by total
+    /// GPU-seconds × peak. An unweighted mean of per-iteration ratios
+    /// over-credits short iterations and misreports runs whose iteration
+    /// times differ (stragglers, elastic-degraded epochs); the
+    /// time-weighted form equals the per-iteration MFU when all
+    /// iterations are identical.
     pub fn mfu(&self) -> f64 {
-        if self.iterations.is_empty() {
+        let gpu_secs: f64 = self
+            .iterations
+            .iter()
+            .map(|i| i.iter_time.as_secs_f64() * i.gpus as f64)
+            .sum();
+        let denom = gpu_secs * self.peak_flops_per_gpu;
+        if denom <= 0.0 {
             return 0.0;
         }
-        self.iterations.iter().map(|i| i.mfu(self.peak_flops_per_gpu)).sum::<f64>()
-            / self.iterations.len() as f64
+        self.iterations.iter().map(|i| i.model_flops).sum::<f64>() / denom
     }
 
-    /// Mean samples/s.
+    /// Run-level samples/s: total samples over total seconds.
     pub fn samples_per_sec(&self) -> f64 {
-        if self.iterations.is_empty() {
+        let t = self.total_secs();
+        if t <= 0.0 {
             return 0.0;
         }
-        self.iterations.iter().map(|i| i.samples_per_sec()).sum::<f64>() / self.iterations.len() as f64
+        self.iterations.iter().map(|i| i.samples as f64).sum::<f64>() / t
     }
 
-    /// Mean tokens/s.
+    /// Run-level tokens/s: total tokens over total seconds.
     pub fn tokens_per_sec(&self) -> f64 {
-        if self.iterations.is_empty() {
+        let t = self.total_secs();
+        if t <= 0.0 {
             return 0.0;
         }
-        self.iterations.iter().map(|i| i.tokens_per_sec()).sum::<f64>() / self.iterations.len() as f64
+        self.iterations.iter().map(|i| i.tokens as f64).sum::<f64>() / t
     }
 
     /// Mean iteration seconds.
@@ -145,14 +162,29 @@ mod tests {
     }
 
     #[test]
-    fn report_averages_iterations() {
+    fn report_aggregates_are_time_weighted() {
         let r = TrainingReport {
             iterations: vec![iter(1.0, 1e14, 100), iter(3.0, 1e14, 100)],
             peak_flops_per_gpu: 1e12,
         };
         assert!((r.mean_iter_secs() - 2.0).abs() < 1e-12);
-        assert!((r.mfu() - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-9);
+        // Total flops 2e14 over 4 s × 100 GPUs × 1e12 peak = 4e14 → 0.5,
+        // NOT the unweighted mean of per-iteration ratios (2/3).
+        assert!((r.mfu() - 0.5).abs() < 1e-9);
+        // 20 samples over 4 s.
+        assert!((r.samples_per_sec() - 5.0).abs() < 1e-9);
+        assert!((r.tokens_per_sec() - 2.0 * 81920.0 / 4.0).abs() < 1e-6);
         assert_eq!(r.gpus(), 100);
+    }
+
+    #[test]
+    fn uniform_iterations_match_the_per_iteration_ratio() {
+        let r = TrainingReport {
+            iterations: vec![iter(2.0, 1e14, 100); 3],
+            peak_flops_per_gpu: 1e12,
+        };
+        assert!((r.mfu() - r.iterations[0].mfu(1e12)).abs() < 1e-12);
+        assert!((r.samples_per_sec() - r.iterations[0].samples_per_sec()).abs() < 1e-12);
     }
 
     #[test]

@@ -24,8 +24,10 @@ use dt_parallel::{BrokerLink, OrchestrationPlan};
 use dt_pipeline::{record_pipeline_trace, simulate, PipelineSpec, PipelineTraceOpts, Schedule, Workload};
 use dt_preprocess::{ReorderMode, ReorderPlanner};
 use dt_reorder::InterReorderConfig;
+use dt_pipeline::record_pipeline_metrics;
 use dt_simengine::trace::{cat, TraceRecorder, TraceSpan};
 use dt_simengine::{SimDuration, SimTime};
+use dt_telemetry::{names, Telemetry};
 
 use crate::metrics::{IterationReport, TrainingReport};
 use crate::system::PreprocessingMode;
@@ -300,6 +302,25 @@ impl<'a> Runtime<'a> {
         batch: &GlobalBatch,
         rec: &mut TraceRecorder,
     ) -> IterationReport {
+        self.simulate_iteration_telemetry(perf, batch, rec, &Telemetry::disabled())
+    }
+
+    /// [`Runtime::simulate_iteration_traced`] plus registry metrics: when
+    /// `tel` is enabled, every rank's executed pipeline feeds the
+    /// per-stage compute/comm/bubble histograms via
+    /// [`dt_pipeline::record_pipeline_metrics`]. The iteration-level
+    /// runtime families are *not* recorded here — drivers (plain runs,
+    /// fault runs, elastic runs) call [`record_iteration_metrics`] on the
+    /// reports they actually commit, which keeps crash-discarded attempts
+    /// out of the committed aggregates while still letting the driver
+    /// sample them into the anomaly series.
+    pub fn simulate_iteration_telemetry(
+        &self,
+        perf: &PerfModel<'_>,
+        batch: &GlobalBatch,
+        rec: &mut TraceRecorder,
+        tel: &Telemetry,
+    ) -> IterationReport {
         let coll = CollectiveCost::new(self.cluster.clone());
         let dp = self.plan.backbone.dp;
         let per_rank = batch.split(dp, self.plan.microbatch);
@@ -321,7 +342,7 @@ impl<'a> Runtime<'a> {
             let token_bytes: u64 = rank_samples.iter().map(|s| 3 * s.total_pixels()).sum();
             let rank_stall = self.preprocess_stall(&rank_samples, token_bytes);
             stall = stall.max(rank_stall);
-            if rec.is_enabled() {
+            if rec.is_enabled() || tel.is_enabled() {
                 results.push(result);
                 stalls.push(rank_stall);
             }
@@ -374,6 +395,13 @@ impl<'a> Runtime<'a> {
             }
         }
 
+        if tel.is_enabled() {
+            let modules = self.stage_modules();
+            for result in &results {
+                record_pipeline_metrics(tel, result, &spec.comm, &modules);
+            }
+        }
+
         let model_flops: f64 = batch
             .samples
             .iter()
@@ -423,15 +451,25 @@ impl<'a> Runtime<'a> {
     /// one umbrella span on a dedicated process (`pid` = the DP world size)
     /// so trace viewers show the iteration boundaries.
     pub fn run_traced(&self, rec: &mut TraceRecorder) -> TrainingReport {
+        self.run_telemetry(rec, &Telemetry::disabled())
+    }
+
+    /// [`Runtime::run_traced`] plus registry metrics: per-stage pipeline
+    /// histograms from every rank's executed schedule, and the runtime
+    /// iteration families (via [`record_iteration_metrics`]) sampled on
+    /// the simulated clock as each iteration commits.
+    pub fn run_telemetry(&self, rec: &mut TraceRecorder, tel: &Telemetry) -> TrainingReport {
         let coll = CollectiveCost::new(self.cluster.clone());
         let perf = self.perf_model(&coll);
         let planner = self.planner_for(&perf);
         let mut gen = SyntheticLaion::new(self.data.clone(), self.cfg.seed);
         let mut iterations = Vec::with_capacity(self.cfg.iterations as usize);
+        let mut now = SimTime::ZERO;
+        let peak = self.cluster.node.gpu.peak_flops;
         for i in 0..self.cfg.iterations {
             let samples = planner.reorder(gen.take(self.cfg.global_batch as usize));
             let batch = GlobalBatch::new(samples);
-            let report = self.simulate_iteration_traced(&perf, &batch, rec);
+            let report = self.simulate_iteration_telemetry(&perf, &batch, rec, tel);
             if rec.is_enabled() {
                 rec.record(TraceSpan::new(
                     format!("iteration {i}"),
@@ -443,10 +481,44 @@ impl<'a> Runtime<'a> {
                 ));
                 rec.set_origin(rec.origin() + report.iter_time);
             }
+            now += report.iter_time;
+            record_iteration_metrics(tel, now, &report, peak);
             iterations.push(report);
         }
         TrainingReport { iterations, peak_flops_per_gpu: self.cluster.node.gpu.peak_flops }
     }
+}
+
+/// Record one committed iteration into the runtime metric families: the
+/// iter-time/grad-sync/stall/pipeline histograms, the iteration/sample/
+/// token counters, the MFU gauge, and the three anomaly-detector series
+/// sampled at simulated time `at` (the instant the iteration finished).
+///
+/// Split out of the runtime so the fault and elastic drivers — which step
+/// iterations manually and discard crashed attempts — record exactly what
+/// they commit. A disabled `tel` makes this free.
+pub fn record_iteration_metrics(
+    tel: &Telemetry,
+    at: SimTime,
+    report: &IterationReport,
+    peak_flops_per_gpu: f64,
+) {
+    tel.with(|r| {
+        let iter_secs = report.iter_time.as_secs_f64();
+        let stall_secs = report.preprocess_stall.as_secs_f64();
+        let mfu = report.mfu(peak_flops_per_gpu);
+        r.histogram(names::RUNTIME_ITER_TIME_SECONDS, &[]).observe(iter_secs);
+        r.histogram(names::RUNTIME_GRAD_SYNC_SECONDS, &[]).observe(report.grad_sync.as_secs_f64());
+        r.histogram(names::RUNTIME_PREPROCESS_STALL_SECONDS, &[]).observe(stall_secs);
+        r.histogram(names::RUNTIME_PIPELINE_SECONDS, &[]).observe(report.pipeline_time.as_secs_f64());
+        r.gauge(names::RUNTIME_MFU, &[]).set(mfu);
+        r.counter(names::RUNTIME_ITERATIONS_TOTAL, &[]).inc();
+        r.counter(names::RUNTIME_SAMPLES_TOTAL, &[]).add(report.samples as u64);
+        r.counter(names::RUNTIME_TOKENS_TOTAL, &[]).add(report.tokens);
+        r.series(names::SERIES_ITER_TIME, &[]).sample(at, iter_secs);
+        r.series(names::SERIES_MFU, &[]).sample(at, mfu);
+        r.series(names::SERIES_STALL, &[]).sample(at, stall_secs);
+    });
 }
 
 #[cfg(test)]

@@ -49,7 +49,8 @@ pub mod stream;
 pub use goodput::GoodputReport;
 pub use policy::{checkpoint_bytes, interval_in_iterations, young_daly_interval, CheckpointPolicy, ElasticPlan};
 pub use run::{
-    run_elastic, run_elastic_traced, run_elastic_with, ElasticError, ElasticReport, FailureEvent,
+    run_elastic, run_elastic_instrumented, run_elastic_traced, run_elastic_with, ElasticError,
+    ElasticReport, FailureEvent,
     PlanEpoch, RecoveryAction,
 };
 pub use sim::{exhaustive_best_interval, simulate_goodput, MachineConfig};

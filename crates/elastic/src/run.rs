@@ -21,14 +21,15 @@ use crate::goodput::GoodputReport;
 use crate::policy::ElasticPlan;
 use crate::stream::FailureStream;
 use disttrain_core::{
-    CheckpointManager, IterationReport, Runtime, SystemKind, TrainingReport, TrainingState,
-    TrainingTask,
+    record_iteration_metrics, CheckpointManager, IterationReport, Runtime, SystemKind,
+    TrainingReport, TrainingState, TrainingTask,
 };
 use dt_cluster::CollectiveCost;
 use dt_data::{GlobalBatch, SyntheticLaion};
 use dt_parallel::OrchestrationPlan;
 use dt_simengine::trace::{cat, TraceRecorder, TraceSpan};
 use dt_simengine::{SimDuration, SimTime};
+use dt_telemetry::{names, Telemetry};
 use std::path::Path;
 
 /// How a node failure was absorbed.
@@ -193,6 +194,32 @@ pub fn run_elastic_with(
     ckpt_dir: &Path,
     rec: &mut TraceRecorder,
 ) -> Result<ElasticReport, ElasticError> {
+    run_elastic_instrumented(
+        task,
+        iterations,
+        elastic,
+        initial_plan,
+        ckpt_dir,
+        rec,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_elastic_with`] with metrics: every committed iteration records the
+/// runtime families (see [`disttrain_core::record_iteration_metrics`]), the
+/// elastic machinery its failure / spare-swap / shrink / rollback /
+/// checkpoint counters and the re-plan solver wall time, and the run closes
+/// with goodput-fraction and degraded-seconds gauges.
+#[allow(clippy::too_many_arguments)]
+pub fn run_elastic_instrumented(
+    task: &TrainingTask,
+    iterations: u32,
+    elastic: &ElasticPlan,
+    initial_plan: OrchestrationPlan,
+    ckpt_dir: &Path,
+    rec: &mut TraceRecorder,
+    tel: &Telemetry,
+) -> Result<ElasticReport, ElasticError> {
     let initial_nodes = task.cluster.num_nodes;
     let mut stream = FailureStream::new(initial_nodes, elastic.node_mtbf, elastic.failure_seed);
     let mut spares_left = elastic.spare_nodes;
@@ -208,6 +235,7 @@ pub fn run_elastic_with(
     let mut g = GoodputReport::default();
     let mut wall = Wall { now: SimTime::ZERO, degraded: false, degraded_total: SimDuration::ZERO };
     let mut replan_search = std::time::Duration::ZERO;
+    let peak = task.cluster.node.gpu.peak_flops;
     let mut it = 0u32;
 
     while it < iterations {
@@ -279,12 +307,18 @@ pub fn run_elastic_with(
                     wall.advance(partial);
                     g.lost += partial;
                     g.failures += 1;
+                    tel.with(|r| r.counter(names::ELASTIC_FAILURES_TOTAL, &[]).inc());
 
                     // Roll back to the newest durable checkpoint: the
                     // committed-but-unsaved iterations become lost work.
                     mgr.wait()?;
                     let state = CheckpointManager::recover(ckpt_dir)?;
                     let resume_at = state.map_or(0, |s: TrainingState| s.iteration);
+                    let rolled_back = committed.len().saturating_sub(resume_at as usize);
+                    tel.with(|r| {
+                        r.counter(names::ELASTIC_ROLLED_BACK_ITERATIONS_TOTAL, &[])
+                            .add(rolled_back as u64)
+                    });
                     for r in committed.drain(resume_at as usize..) {
                         g.committed -= r.iter_time;
                         g.lost += r.iter_time;
@@ -310,8 +344,10 @@ pub fn run_elastic_with(
                         // slot's failure stream continues for the
                         // replacement hardware.
                         spares_left -= 1;
+                        tel.with(|r| r.counter(names::ELASTIC_SPARE_SWAPS_TOTAL, &[]).inc());
                         RecoveryAction::SpareSwap
                     } else {
+                        tel.with(|r| r.counter(names::ELASTIC_SHRINKS_TOTAL, &[]).inc());
                         RecoveryAction::Shrink
                     };
                     failures.push(FailureEvent {
@@ -336,7 +372,12 @@ pub fn run_elastic_with(
                                 shrunk.cluster.num_nodes
                             ))
                         })?;
-                        replan_search += search_started.elapsed();
+                        let search_wall = search_started.elapsed();
+                        replan_search += search_wall;
+                        tel.with(|r| {
+                            r.histogram(names::ELASTIC_REPLAN_SEARCH_SECONDS, &[])
+                                .observe(search_wall.as_secs_f64())
+                        });
                         // Migrating state onto the re-sharded plan costs
                         // checkpoint-bytes over the RDMA fabric.
                         wall.advance(elastic.reshard_cost);
@@ -374,6 +415,7 @@ pub fn run_elastic_with(
                 }
                 wall.advance(report.iter_time);
                 g.committed += report.iter_time;
+                record_iteration_metrics(tel, wall.now, &report, peak);
                 committed.push(report);
                 it += 1;
 
@@ -386,6 +428,7 @@ pub fn run_elastic_with(
                     wall.advance(elastic.checkpoint_cost);
                     g.checkpoint += elastic.checkpoint_cost;
                     g.checkpoints += 1;
+                    tel.with(|r| r.counter(names::ELASTIC_CHECKPOINTS_TOTAL, &[]).inc());
                     if rec.is_enabled() {
                         rec.record(TraceSpan::new(
                             format!("checkpoint@{it}"),
@@ -410,7 +453,12 @@ pub fn run_elastic_with(
 
     g.total_wall = wall.now - SimTime::ZERO;
     g.degraded = wall.degraded_total;
-    let peak = task.cluster.node.gpu.peak_flops;
+    tel.with(|r| {
+        let total = g.total_wall.as_secs_f64();
+        let goodput = if total > 0.0 { g.committed.as_secs_f64() / total } else { 0.0 };
+        r.gauge(names::ELASTIC_GOODPUT_FRACTION, &[]).set(goodput);
+        r.gauge(names::ELASTIC_DEGRADED_SECONDS, &[]).set(g.degraded.as_secs_f64());
+    });
     Ok(ElasticReport {
         report: TrainingReport { iterations: committed, peak_flops_per_gpu: peak },
         epochs,

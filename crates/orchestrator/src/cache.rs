@@ -9,8 +9,9 @@
 //! search: one `f64` per `(module, TP choice)` plus the backbone memory
 //! estimate for the HBM gate. The table is immutable after construction,
 //! so the parallel search workers share one instance read-only; the only
-//! mutable state is a pair of relaxed atomic hit/miss counters reported in
-//! [`crate::orchestrate::PlanReport`].
+//! mutable state is a pair of `dt_telemetry::Counter`s (relaxed atomics)
+//! reported in [`crate::orchestrate::PlanReport`] and mirrored into the
+//! planner's metric registry when one is attached.
 //!
 //! Table entries are the *exact* `f64`s `TaskProfile::train` would return
 //! at the trial TPs, so a cached search is bit-identical to an uncached
@@ -20,7 +21,7 @@
 use crate::profiler::{interp, TaskProfile, TrainCost, TRIAL_TPS};
 use dt_model::memory::ModuleMemory;
 use dt_model::{ModuleKind, MultimodalLlm};
-use std::sync::atomic::{AtomicU64, Ordering};
+use dt_telemetry::Counter;
 
 /// Prebuilt per-search evaluation table: `C(TP)` for every module at every
 /// trial TP, plus the backbone memory estimate for the §4.2 HBM gate.
@@ -36,9 +37,9 @@ pub struct PerfCache {
     /// point).
     pub backbone_memory: ModuleMemory,
     /// Table lookups served (relaxed; aggregated across workers).
-    hits: AtomicU64,
+    hits: Counter,
     /// Lookups that fell outside the trial-TP grid and were interpolated.
-    misses: AtomicU64,
+    misses: Counter,
 }
 
 fn module_index(module: ModuleKind) -> usize {
@@ -67,20 +68,20 @@ impl PerfCache {
             train,
             fwd,
             backbone_memory: model.module_memory(ModuleKind::Backbone, &profile.mean_shape),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
     }
 
     /// Table lookups served so far (the `cache_hits` of `PlanReport`).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that missed the trial-TP grid (0 during a lattice search —
     /// every candidate TP is a trial TP).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Forward seconds per sample at `tp` (same table discipline as
@@ -92,13 +93,13 @@ impl PerfCache {
     fn lookup(&self, row: &[f64; TRIAL_TPS.len()], tp: u32) -> f64 {
         match TRIAL_TPS.iter().position(|&t| t == tp) {
             Some(i) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 row[i]
             }
             None => {
                 // Outside the trial grid: interpolate over the table, the
                 // same clamped piecewise-linear rule the profile uses.
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 let points: Vec<(u32, f64)> =
                     TRIAL_TPS.iter().copied().zip(row.iter().copied()).collect();
                 interp(&points, tp)

@@ -45,6 +45,7 @@ const TRIM_SLACK_PER_GPU: [f64; 2] = [3e-4, 2e-3];
 use dt_data::TrainSample;
 use dt_model::MultimodalLlm;
 use dt_parallel::{ModulePlan, OrchestrationPlan};
+use dt_telemetry::{names, Telemetry};
 
 /// TP sizes considered (one NVLink node; §4.3) — the same grid the
 /// profiler trials, so every lattice lookup is a [`PerfCache`] table hit.
@@ -92,6 +93,9 @@ pub struct Orchestrator {
     /// Worker-pool size for [`SearchMode::Parallel`]; `0` means "size from
     /// [`std::thread::available_parallelism`]".
     pub workers: usize,
+    /// Metrics sink: every search records its wall time, cache hit/miss
+    /// totals, and a search counter here (disabled by default — a no-op).
+    pub telemetry: Telemetry,
 }
 
 /// The planner's result plus diagnostics.
@@ -139,6 +143,7 @@ pub struct OrchestratorBuilder {
     search_mode: SearchMode,
     top_k: usize,
     workers: usize,
+    telemetry: Telemetry,
 }
 
 impl Default for OrchestratorBuilder {
@@ -156,6 +161,7 @@ impl Default for OrchestratorBuilder {
             search_mode: SearchMode::default(),
             top_k: DEFAULT_TOP_K,
             workers: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -232,6 +238,13 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Metrics sink for the planner (see [`dt_telemetry`]). Defaults to
+    /// [`Telemetry::disabled`], which records nothing at zero cost.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Validate every knob and produce the planner.
     pub fn build(self) -> Result<Orchestrator, PlanError> {
         let invalid = |field: &'static str, reason: &str| PlanError::InvalidSpec {
@@ -268,6 +281,7 @@ impl OrchestratorBuilder {
             search_mode: self.search_mode,
             top_k: self.top_k,
             workers: self.workers,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -310,6 +324,7 @@ impl Orchestrator {
             search_mode: SearchMode::default(),
             top_k: DEFAULT_TOP_K,
             workers: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -560,6 +575,13 @@ impl Orchestrator {
                 memory_rejected,
             });
         }
+        self.telemetry.with(|r| {
+            r.counter(names::ORCHESTRATOR_SEARCHES_TOTAL, &[]).inc();
+            r.counter(names::ORCHESTRATOR_CACHE_HITS_TOTAL, &[]).add(cache.hits());
+            r.counter(names::ORCHESTRATOR_CACHE_MISSES_TOTAL, &[]).add(cache.misses());
+            r.histogram(names::ORCHESTRATOR_SEARCH_WALL_SECONDS, &[])
+                .observe(started.elapsed().as_secs_f64());
+        });
         Ok(out)
     }
 }

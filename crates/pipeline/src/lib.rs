@@ -26,16 +26,19 @@
 //!
 //! Observability: [`trace::record_pipeline_trace`] converts an executed
 //! [`PipelineResult`] into compute/comm/bubble [`dt_simengine::TraceSpan`]s
-//! (one Chrome-trace thread per stage), and [`gantt::render_trace_gantt`]
-//! renders the same attribution as per-rank ASCII rows.
+//! (one Chrome-trace thread per stage), [`metrics::record_pipeline_metrics`]
+//! feeds the same attribution into per-stage `dt-telemetry` histograms, and
+//! [`gantt::render_trace_gantt`] renders it as per-rank ASCII rows.
 
 pub mod gantt;
+pub mod metrics;
 pub mod result;
 pub mod schedule;
 pub mod sim;
 pub mod trace;
 
 pub use gantt::{render_gantt, render_trace_gantt};
+pub use metrics::record_pipeline_metrics;
 pub use result::{OpKind, OpRecord, PipelineResult};
 pub use schedule::Schedule;
 pub use sim::{simulate, PipelineSpec, Workload};

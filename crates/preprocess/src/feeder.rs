@@ -14,6 +14,7 @@ use crate::service::preprocess_parallel;
 use crate::wire::{read_frame, read_json, write_json, BatchHeader, Request};
 use dt_data::{DataConfig, GlobalBatch, SyntheticLaion};
 use dt_simengine::trace::{cat, WallTraceSink};
+use dt_telemetry::{names, Telemetry};
 use std::io;
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::net::{SocketAddr, TcpStream};
@@ -87,13 +88,14 @@ pub const CONSUMER_PID: u64 = 1_001;
 pub struct DisaggregatedFeeder {
     rx: Receiver<io::Result<PreprocessedBatch>>,
     trace: Option<WallTraceSink>,
+    telemetry: Telemetry,
 }
 
 impl DisaggregatedFeeder {
     /// Connect to a producer and start prefetching `batch_size`-sample
     /// global batches, keeping up to `prefetch_depth` ready in the queue.
     pub fn connect(addr: SocketAddr, batch_size: u32, prefetch_depth: usize) -> io::Result<Self> {
-        Self::connect_traced(addr, batch_size, prefetch_depth, None)
+        Self::connect_instrumented(addr, batch_size, prefetch_depth, None, Telemetry::disabled())
     }
 
     /// [`DisaggregatedFeeder::connect`] with wall-clock span emission: the
@@ -107,9 +109,26 @@ impl DisaggregatedFeeder {
         prefetch_depth: usize,
         trace: Option<WallTraceSink>,
     ) -> io::Result<Self> {
+        Self::connect_instrumented(addr, batch_size, prefetch_depth, trace, Telemetry::disabled())
+    }
+
+    /// [`DisaggregatedFeeder::connect_traced`] with metrics: the prefetch
+    /// thread observes each producer round trip into
+    /// [`names::PREPROCESS_PREFETCH_SECONDS`] and tracks the ready-queue
+    /// depth in [`names::PREPROCESS_QUEUE_DEPTH`] (+1 on enqueue, −1 on
+    /// dequeue); [`Self::next_batch`] observes the trainer-visible wait
+    /// into [`names::PREPROCESS_STALL_SECONDS`].
+    pub fn connect_instrumented(
+        addr: SocketAddr,
+        batch_size: u32,
+        prefetch_depth: usize,
+        trace: Option<WallTraceSink>,
+        telemetry: Telemetry,
+    ) -> io::Result<Self> {
         let mut stream = TcpStream::connect(addr)?;
         let (tx, rx) = sync_channel(prefetch_depth.max(1));
         let prefetch_sink = trace.clone();
+        let prefetch_tel = telemetry.clone();
         std::thread::Builder::new()
             .name("dt-preprocess-prefetch".into())
             .spawn(move || loop {
@@ -118,17 +137,22 @@ impl DisaggregatedFeeder {
                 if let Some(sink) = &prefetch_sink {
                     sink.record(format!("prefetch x{batch_size}"), cat::PRE_FETCH, CONSUMER_PID, 0, started);
                 }
+                prefetch_tel.with(|r| {
+                    r.histogram(names::PREPROCESS_PREFETCH_SECONDS, &[])
+                        .observe(started.elapsed().as_secs_f64())
+                });
                 let failed = result.is_err();
                 if tx.send(result).is_err() {
                     // Consumer dropped: politely close the session.
                     let _ = write_json(&mut stream, &Request::Shutdown);
                     return;
                 }
+                prefetch_tel.with(|r| r.gauge(names::PREPROCESS_QUEUE_DEPTH, &[]).add(1.0));
                 if failed {
                     return;
                 }
             })?;
-        Ok(DisaggregatedFeeder { rx, trace })
+        Ok(DisaggregatedFeeder { rx, trace, telemetry })
     }
 
     /// Take the next ready batch, blocking only if the prefetch queue is
@@ -142,6 +166,11 @@ impl DisaggregatedFeeder {
         if let Some(sink) = &self.trace {
             sink.record("queue wait", cat::STALL, CONSUMER_PID, 1, started);
         }
+        self.telemetry.with(|r| {
+            r.gauge(names::PREPROCESS_QUEUE_DEPTH, &[]).add(-1.0);
+            r.histogram(names::PREPROCESS_STALL_SECONDS, &[])
+                .observe(started.elapsed().as_secs_f64());
+        });
         Ok((batch, FeederReport { stall: started.elapsed() }))
     }
 }
@@ -233,6 +262,42 @@ mod tests {
         assert!(spans.iter().any(|s| s.pid == CONSUMER_PID && s.cat == cat::STALL));
         // Producer-side spans land in the same sink on their own process.
         assert!(spans.iter().any(|s| s.pid == crate::service::PREPROCESS_PID));
+    }
+
+    #[test]
+    fn instrumented_feeder_and_producer_record_the_preprocess_families() {
+        let tel = Telemetry::enabled();
+        let producer = ProducerHandle::spawn(
+            ProducerConfig::new(tiny_data(), 23).with_telemetry(tel.clone()),
+        )
+        .unwrap();
+        let feeder =
+            DisaggregatedFeeder::connect_instrumented(producer.addr, 3, 2, None, tel.clone())
+                .unwrap();
+        let (_, first) = feeder.next_batch().unwrap();
+        let (_, _) = feeder.next_batch().unwrap();
+        drop(feeder);
+        drop(producer);
+        let snap = tel.snapshot();
+        // Real cross-thread recording: producer session thread + prefetch
+        // thread + trainer thread all hit the same registry.
+        for h in [
+            names::PREPROCESS_FETCH_SECONDS,
+            names::PREPROCESS_DECODE_SECONDS,
+            names::PREPROCESS_FEED_SECONDS,
+            names::PREPROCESS_PREFETCH_SECONDS,
+            names::PREPROCESS_STALL_SECONDS,
+        ] {
+            let hist = snap.histogram_value(h, &[]).unwrap_or_else(|| panic!("missing {h}"));
+            assert!(hist.count >= 2, "{h} must observe both batches");
+        }
+        assert!(snap.counter_value(names::PREPROCESS_BATCHES_TOTAL, &[]).unwrap() >= 2);
+        assert!(snap.counter_value(names::PREPROCESS_SAMPLES_TOTAL, &[]).unwrap() >= 6);
+        // The stall histogram's largest observation covers the cold wait.
+        let stall = snap.histogram_value(names::PREPROCESS_STALL_SECONDS, &[]).unwrap();
+        assert!(stall.sum >= first.stall.as_secs_f64() * 0.5);
+        // Queue depth returns to a small value once drained (gauge exists).
+        assert!(snap.gauge_value(names::PREPROCESS_QUEUE_DEPTH, &[]).is_some());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::reorder_planner::ReorderPlanner;
 use crate::wire::{read_json, write_frame, write_json, BatchHeader, Request};
 use dt_data::{DataConfig, SyntheticLaion, TrainSample};
 use dt_simengine::trace::{cat, WallTraceSink};
+use dt_telemetry::{names, Telemetry};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,6 +33,10 @@ pub struct ProducerConfig {
     /// `preprocess.fetch` / `preprocess.decode` / `preprocess.feed` spans
     /// (on process [`PREPROCESS_PID`], one thread per client session).
     pub trace: Option<WallTraceSink>,
+    /// Metrics sink: every served batch observes its fetch / decode / feed
+    /// wall latencies and bumps the batch/sample counters. Disabled by
+    /// default (a no-op). The registry is shared across session threads.
+    pub telemetry: Telemetry,
 }
 
 /// Chrome-trace process id for the producer service's wall-clock spans,
@@ -42,12 +47,26 @@ pub const PREPROCESS_PID: u64 = 1_000;
 impl ProducerConfig {
     /// A producer with defaults for the given data distribution.
     pub fn new(data: DataConfig, seed: u64) -> Self {
-        ProducerConfig { data, seed, workers: 4, planner: None, fault_delay: None, trace: None }
+        ProducerConfig {
+            data,
+            seed,
+            workers: 4,
+            planner: None,
+            fault_delay: None,
+            trace: None,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Attach a wall-clock trace sink.
     pub fn with_trace(mut self, sink: WallTraceSink) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Attach a metrics sink (see [`dt_telemetry`]).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -126,6 +145,10 @@ fn serve_client(
                         started,
                     );
                 }
+                cfg.telemetry.with(|r| {
+                    r.histogram(names::PREPROCESS_FETCH_SECONDS, &[])
+                        .observe(started.elapsed().as_secs_f64())
+                });
                 let decode_started = Instant::now();
                 let tokens = preprocess_parallel(&samples, cfg.workers);
                 if let Some(sink) = &cfg.trace {
@@ -137,6 +160,10 @@ fn serve_client(
                         decode_started,
                     );
                 }
+                cfg.telemetry.with(|r| {
+                    r.histogram(names::PREPROCESS_DECODE_SECONDS, &[])
+                        .observe(decode_started.elapsed().as_secs_f64())
+                });
                 let token_lens: Vec<u64> = tokens.iter().map(|t| t.len() as u64).collect();
                 let header = BatchHeader {
                     samples,
@@ -156,6 +183,12 @@ fn serve_client(
                         feed_started,
                     );
                 }
+                cfg.telemetry.with(|r| {
+                    r.histogram(names::PREPROCESS_FEED_SECONDS, &[])
+                        .observe(feed_started.elapsed().as_secs_f64());
+                    r.counter(names::PREPROCESS_BATCHES_TOTAL, &[]).inc();
+                    r.counter(names::PREPROCESS_SAMPLES_TOTAL, &[]).add(u64::from(count));
+                });
             }
         }
     }

@@ -1,0 +1,329 @@
+//! [`AnomalyDetector`]: rolling median/MAD scan over the per-iteration
+//! time-series, flagging the pathologies DistTrain fights.
+//!
+//! Three detectors run over aligned series:
+//!
+//! * **Straggler iterations** — an iteration time far above the rolling
+//!   median of the preceding window. "Far" requires *both* a robust
+//!   z-score above [`AnomalyConfig::mad_k`] (MAD-based, so one earlier
+//!   spike does not poison the baseline) *and* a relative excess above
+//!   [`AnomalyConfig::min_rel_excess`]; the second guard keeps the
+//!   near-zero-MAD series a deterministic simulator produces from
+//!   flagging micro-jitter.
+//! * **Sustained MFU regressions** — a run of consecutive iterations
+//!   below `(1 − mfu_drop) ×` the baseline median MFU.
+//! * **Preprocessing-stall bursts** — consecutive iterations whose stall
+//!   time is both large in absolute terms and a multiple of the rolling
+//!   median stall.
+//!
+//! The fault-driven integration test in `disttrain-core` validates the
+//! defaults: a crash/restart and an injected stall burst are flagged,
+//! while the clean run of the same seed produces zero anomalies.
+
+/// Tuning for [`AnomalyDetector`]. `Default` matches the fault-driven
+/// validation tests.
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyConfig {
+    /// Rolling window length (points of history considered).
+    pub window: usize,
+    /// Minimum history before a point can be judged at all.
+    pub min_history: usize,
+    /// Robust z-score threshold: flag when `x > median + mad_k · 1.4826 · MAD`.
+    pub mad_k: f64,
+    /// Relative-excess guard: also require `x > median · (1 + min_rel_excess)`.
+    pub min_rel_excess: f64,
+    /// MFU regression threshold as a fraction below the baseline median.
+    pub mfu_drop: f64,
+    /// Consecutive low-MFU points needed to call it sustained.
+    pub mfu_run: usize,
+    /// Stall-burst multiple of the rolling median stall.
+    pub stall_ratio: f64,
+    /// Absolute stall floor in seconds — bursts below this are noise.
+    pub stall_min_secs: f64,
+    /// Consecutive high-stall points needed to call it a burst.
+    pub stall_run: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            window: 8,
+            min_history: 3,
+            mad_k: 5.0,
+            min_rel_excess: 0.25,
+            mfu_drop: 0.10,
+            mfu_run: 3,
+            stall_ratio: 8.0,
+            stall_min_secs: 0.05,
+            stall_run: 2,
+        }
+    }
+}
+
+/// What kind of pathology an [`Anomaly`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// One iteration far slower than its rolling baseline.
+    StragglerIteration,
+    /// A sustained run of iterations below baseline MFU.
+    MfuRegression,
+    /// A burst of iterations dominated by preprocessing stall.
+    PreprocessStallBurst,
+}
+
+impl AnomalyKind {
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyKind::StragglerIteration => "straggler-iteration",
+            AnomalyKind::MfuRegression => "mfu-regression",
+            AnomalyKind::PreprocessStallBurst => "preprocess-stall-burst",
+        }
+    }
+}
+
+/// One flagged region of the series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Which detector fired.
+    pub kind: AnomalyKind,
+    /// First series index involved.
+    pub start_index: usize,
+    /// Last series index involved (== `start_index` for point anomalies).
+    pub end_index: usize,
+    /// The offending value (peak iter-time, trough MFU, peak stall).
+    pub value: f64,
+    /// The rolling baseline it was judged against.
+    pub baseline: f64,
+}
+
+/// Robust baseline scanner over per-iteration series.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnomalyDetector {
+    /// Thresholds and window sizes.
+    pub config: AnomalyConfig,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn median_of(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    median(&sorted)
+}
+
+/// Median absolute deviation around `m`.
+fn mad_of(values: &[f64], m: f64) -> f64 {
+    let mut devs: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    devs.sort_by(f64::total_cmp);
+    median(&devs)
+}
+
+impl AnomalyDetector {
+    /// A detector with the given config.
+    pub fn new(config: AnomalyConfig) -> Self {
+        AnomalyDetector { config }
+    }
+
+    /// Scan an iteration-time series for stragglers.
+    pub fn stragglers(&self, iter_times: &[f64]) -> Vec<Anomaly> {
+        let c = &self.config;
+        let mut out = Vec::new();
+        for i in c.min_history..iter_times.len() {
+            let lo = i.saturating_sub(c.window);
+            let win = &iter_times[lo..i];
+            let m = median_of(win);
+            let mad = mad_of(win, m);
+            let x = iter_times[i];
+            // 1.4826 scales MAD to a stddev-equivalent for normal data.
+            let robust_cut = m + c.mad_k * 1.4826 * mad;
+            if x > robust_cut && x > m * (1.0 + c.min_rel_excess) {
+                out.push(Anomaly {
+                    kind: AnomalyKind::StragglerIteration,
+                    start_index: i,
+                    end_index: i,
+                    value: x,
+                    baseline: m,
+                });
+            }
+        }
+        out
+    }
+
+    /// Scan an MFU series for sustained regressions. The baseline is the
+    /// median of the points before the run starts.
+    pub fn mfu_regressions(&self, mfu: &[f64]) -> Vec<Anomaly> {
+        let c = &self.config;
+        let mut out = Vec::new();
+        let mut i = c.min_history;
+        while i < mfu.len() {
+            let lo = i.saturating_sub(c.window);
+            let baseline = median_of(&mfu[lo..i]);
+            let cut = baseline * (1.0 - c.mfu_drop);
+            if mfu[i] < cut {
+                // Extend the run against the *same* baseline.
+                let mut j = i;
+                while j + 1 < mfu.len() && mfu[j + 1] < cut {
+                    j += 1;
+                }
+                if j - i + 1 >= c.mfu_run {
+                    let trough = mfu[i..=j].iter().copied().fold(f64::INFINITY, f64::min);
+                    out.push(Anomaly {
+                        kind: AnomalyKind::MfuRegression,
+                        start_index: i,
+                        end_index: j,
+                        value: trough,
+                        baseline,
+                    });
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Scan a preprocessing-stall series for bursts.
+    pub fn stall_bursts(&self, stalls: &[f64]) -> Vec<Anomaly> {
+        let c = &self.config;
+        let mut out = Vec::new();
+        let mut i = c.min_history;
+        while i < stalls.len() {
+            let lo = i.saturating_sub(c.window);
+            let m = median_of(&stalls[lo..i]);
+            let cut = c.stall_min_secs.max(m * c.stall_ratio);
+            if stalls[i] > cut {
+                let mut j = i;
+                while j + 1 < stalls.len() && stalls[j + 1] > cut {
+                    j += 1;
+                }
+                if j - i + 1 >= c.stall_run {
+                    let peak = stalls[i..=j].iter().copied().fold(0.0, f64::max);
+                    out.push(Anomaly {
+                        kind: AnomalyKind::PreprocessStallBurst,
+                        start_index: i,
+                        end_index: j,
+                        value: peak,
+                        baseline: m,
+                    });
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Run all three detectors over aligned series (any may be empty) and
+    /// return the findings ordered by start index.
+    pub fn scan(&self, iter_times: &[f64], mfu: &[f64], stalls: &[f64]) -> Vec<Anomaly> {
+        let mut out = self.stragglers(iter_times);
+        out.extend(self.mfu_regressions(mfu));
+        out.extend(self.stall_bursts(stalls));
+        out.sort_by_key(|a| (a.start_index, a.end_index));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_series_is_clean() {
+        let d = AnomalyDetector::default();
+        let flat = vec![1.0; 32];
+        assert!(d.scan(&flat, &flat, &[0.0; 32]).is_empty());
+    }
+
+    #[test]
+    fn tiny_jitter_is_clean() {
+        let d = AnomalyDetector::default();
+        // ±1% jitter around 1.0 — the relative-excess guard must hold even
+        // though MAD is tiny.
+        let jitter: Vec<f64> =
+            (0..32).map(|i| 1.0 + 0.01 * ((i % 3) as f64 - 1.0)).collect();
+        assert!(d.stragglers(&jitter).is_empty());
+    }
+
+    #[test]
+    fn single_spike_is_a_straggler() {
+        let d = AnomalyDetector::default();
+        let mut xs = vec![1.0; 16];
+        xs[9] = 4.0;
+        let found = d.stragglers(&xs);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AnomalyKind::StragglerIteration);
+        assert_eq!(found[0].start_index, 9);
+        assert!((found[0].baseline - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_mfu_drop_is_flagged_but_a_blip_is_not() {
+        let d = AnomalyDetector::default();
+        let mut mfu = vec![0.5; 20];
+        mfu[6] = 0.40; // single blip: shorter than mfu_run
+        assert!(d.mfu_regressions(&mfu).is_empty());
+        for v in mfu.iter_mut().take(15).skip(10) {
+            *v = 0.40; // 5 consecutive ≥ mfu_run
+        }
+        let found = d.mfu_regressions(&mfu);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AnomalyKind::MfuRegression);
+        assert_eq!((found[0].start_index, found[0].end_index), (10, 14));
+        assert!((found[0].value - 0.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_burst_needs_consecutive_points() {
+        let d = AnomalyDetector::default();
+        let mut stalls = vec![0.001; 20];
+        stalls[8] = 0.5; // one point: below stall_run
+        assert!(d.stall_bursts(&stalls).is_empty());
+        stalls[9] = 0.6;
+        let found = d.stall_bursts(&stalls);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AnomalyKind::PreprocessStallBurst);
+        assert_eq!((found[0].start_index, found[0].end_index), (8, 9));
+        assert!((found[0].value - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_stall_baseline_uses_absolute_floor() {
+        let d = AnomalyDetector::default();
+        // All-zero baseline: only stalls above stall_min_secs can fire.
+        let mut stalls = vec![0.0; 20];
+        stalls[10] = 0.04;
+        stalls[11] = 0.04; // below the 0.05 floor
+        assert!(d.stall_bursts(&stalls).is_empty());
+        stalls[10] = 0.2;
+        stalls[11] = 0.2;
+        assert_eq!(d.stall_bursts(&stalls).len(), 1);
+    }
+
+    #[test]
+    fn scan_orders_by_start_index() {
+        let d = AnomalyDetector::default();
+        let mut iter = vec![1.0; 24];
+        iter[20] = 5.0;
+        let mut stalls = vec![0.0; 24];
+        stalls[5] = 0.3;
+        stalls[6] = 0.3;
+        let found = d.scan(&iter, &[], &stalls);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].kind, AnomalyKind::PreprocessStallBurst);
+        assert_eq!(found[1].kind, AnomalyKind::StragglerIteration);
+    }
+}

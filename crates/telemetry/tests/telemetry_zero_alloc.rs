@@ -1,0 +1,76 @@
+//! The disabled telemetry handle must be free on the hot path: emission
+//! points are compiled into every runtime/preprocess loop, so a run
+//! without `--metrics` must not pay even an allocation for them.
+//! Verified with a counting global allocator (process-global, hence the
+//! dedicated integration test), exactly like the trace layer's
+//! `trace_zero_alloc` test.
+
+use dt_telemetry::{names, Telemetry};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_telemetry_never_allocates_and_never_runs_closures() {
+    let tel = Telemetry::disabled();
+    let mut invoked = 0u64;
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        // Everything inside the closure allocates (label vectors, metric
+        // interning); a disabled handle must skip it entirely.
+        tel.with(|r| {
+            invoked += 1;
+            let label = format!("rank-{i}");
+            r.histogram(names::RUNTIME_ITER_TIME_SECONDS, &[("rank", &label)])
+                .observe(i as f64);
+        });
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled Telemetry::with must not allocate");
+    assert_eq!(invoked, 0, "disabled Telemetry::with must never invoke its closure");
+    // Cloning a disabled handle is also free.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..1_000 {
+        let clone = tel.clone();
+        assert!(!clone.is_enabled());
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "cloning a disabled Telemetry must not allocate");
+}
+
+#[test]
+fn enabled_telemetry_does_allocate_as_a_sanity_check() {
+    // Guards against the counter silently not counting: the same loop with
+    // an enabled handle must register allocations and run the closures.
+    let tel = Telemetry::enabled();
+    let mut invoked = 0u64;
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..100u64 {
+        tel.with(|r| {
+            invoked += 1;
+            let label = format!("rank-{i}");
+            r.counter(names::RUNTIME_ITERATIONS_TOTAL, &[("rank", &label)]).inc();
+        });
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert!(after > before, "enabled handle must register (and thus allocate)");
+    assert_eq!(invoked, 100);
+    assert_eq!(tel.with(|r| r.len()), Some(100));
+}

@@ -30,4 +30,15 @@ DT_BENCH_ITERS="${DT_BENCH_ITERS:-3}" DT_BENCH_SOLVER_JSON="$PWD/BENCH_solver.js
     cargo bench -p dt-bench --bench bench_orchestrator --quiet
 test -s BENCH_solver.json || { echo "BENCH_solver.json missing or empty" >&2; exit 1; }
 
+echo "==> repro --metrics smoke (Prometheus exposition + JSON archive)"
+METRICS_TMP="$(mktemp -d)"
+trap 'rm -rf "$METRICS_TMP"' EXIT
+./target/release/repro zoo --metrics "$METRICS_TMP/metrics.prom" > /dev/null
+test -s "$METRICS_TMP/metrics.prom" || { echo "metrics.prom missing or empty" >&2; exit 1; }
+grep -q '^# TYPE dt_runtime_iter_time_seconds summary$' "$METRICS_TMP/metrics.prom" \
+    || { echo "runtime family missing from Prometheus exposition" >&2; exit 1; }
+grep -q '^dt_preprocess_batches_total ' "$METRICS_TMP/metrics.prom" \
+    || { echo "preprocess family missing from Prometheus exposition" >&2; exit 1; }
+test -s "$METRICS_TMP/metrics.prom.json" || { echo "metrics JSON archive missing or empty" >&2; exit 1; }
+
 echo "==> all checks passed"

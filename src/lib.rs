@@ -72,13 +72,16 @@
 //! See the individual crates for the subsystem documentation:
 //! [`simengine`], [`cluster`], [`model`], [`data`], [`parallel`],
 //! [`pipeline`], [`reorder`], [`orchestrator`], [`preprocess`], [`stepccl`],
-//! [`core`] (the DistTrain manager/runtime itself), and [`elastic`]
+//! [`core`] (the DistTrain manager/runtime itself), [`elastic`]
 //! (fault-tolerant elastic training: MTBF failure streams, spare pools,
 //! shrink + re-orchestration, Young–Daly checkpointing, goodput
-//! accounting). Observability —
+//! accounting), and [`telemetry`] (the metrics layer: lock-light registry,
+//! Prometheus/JSON exposition, straggler anomaly detection). Observability —
 //! span recording ([`simengine::trace`]), Chrome-trace export, per-module
-//! breakdowns — is documented in the README's *Observability* section and
-//! on [`core::Runtime::run_traced`].
+//! breakdowns, and the metrics registry ([`telemetry::Telemetry`], fed by
+//! [`core::Runtime::run_telemetry`] and scanned by
+//! [`telemetry::AnomalyDetector`]) — is documented in the README's
+//! *Observability* section.
 
 pub use disttrain_core as core;
 pub use dt_cluster as cluster;
@@ -92,10 +95,12 @@ pub use dt_preprocess as preprocess;
 pub use dt_reorder as reorder;
 pub use dt_simengine as simengine;
 pub use dt_stepccl as stepccl;
+pub use dt_telemetry as telemetry;
 
 /// The most commonly used types, re-exported flat: enough to describe a
-/// training task, build the §4 planner, diagnose its failures, and run the
-/// simulated training loop without naming individual workspace crates.
+/// training task, build the §4 planner, diagnose its failures, run the
+/// simulated training loop, and meter it without naming individual
+/// workspace crates.
 pub mod prelude {
     pub use crate::cluster::{ClusterSpec, CollectiveCost, GpuSpec, NodeSpec};
     pub use crate::core::{
@@ -109,4 +114,7 @@ pub mod prelude {
     };
     pub use crate::parallel::{ModulePlan, OrchestrationPlan};
     pub use crate::simengine::{DetRng, SimDuration, SimTime};
+    pub use crate::telemetry::{
+        names, Anomaly, AnomalyConfig, AnomalyDetector, AnomalyKind, Snapshot, Telemetry,
+    };
 }
