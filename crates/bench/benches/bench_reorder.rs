@@ -13,7 +13,9 @@ fn main() {
         let mut rng = DetRng::new(1);
         let sizes: Vec<f64> = (0..n).map(|_| rng.lognormal(2.0, 1.0)).collect();
         let m = 16;
-        bench(&format!("algorithm1_intra/n{n}_dp{m}"), iters, || intra_reorder_indices(&sizes, m));
+        bench(&format!("algorithm1_intra/n{n}_dp{m}"), iters, || {
+            intra_reorder_indices(&sizes, m).expect("bench sizes divide into 16 groups")
+        });
     }
     for (l, p) in [(16usize, 4usize), (48, 8), (120, 12)] {
         let mut rng = DetRng::new(2);

@@ -8,6 +8,10 @@
 //! repro elastic --trace out.json  # elastic multi-failure run, Chrome trace
 //! repro all --json out.json       # archive every table as JSON
 //! repro zoo --metrics out.prom    # metered demo: Prometheus text + JSON
+//! repro check                     # every property oracle, 100 seeds each
+//! repro check --seeds 500         # deeper sweep
+//! repro check --prop wire.frames_round_trip            # one property
+//! repro check --prop NAME --seed 7 --size 3            # replay one case
 //! ```
 //!
 //! Flags may appear anywhere (before or after experiment names). An empty
@@ -24,6 +28,13 @@
 //! archive to `<path>.json`, and prints the metrics summary table; it
 //! composes freely with `--json` and `--trace`.
 //!
+//! `repro check` runs the dt-check property suite (every differential
+//! oracle in [`dt_check::registry`]) across a deterministic seed sweep and
+//! exits 1 if any property is falsified, printing a minimized one-line
+//! reproducer (`repro check --prop <name> --seed <s> --size <k>`) that
+//! replays exactly the failing case. Unknown property names exit 2 and
+//! list the registry.
+//!
 //! Build with `--release`: the production-scale simulations (fig13/fig14)
 //! and the real preprocessing measurements (fig17) are CPU-heavy.
 
@@ -38,7 +49,8 @@ const FLAGS: [&str; 3] = ["--trace", "--json", "--metrics"];
 fn usage(all: &[Experiment]) {
     eprintln!(
         "usage: repro [--trace <path>] [--json <path>] [--metrics <path>] \
-         <experiment>... | all | list"
+         <experiment>... | all | list\n       \
+         repro check [--seeds N] [--prop NAME] [--seed S --size K]"
     );
     eprintln!("experiments:");
     for (name, _) in all {
@@ -84,8 +96,85 @@ fn run_metered(path: &str) {
     );
 }
 
+/// `repro check [--seeds N] [--prop NAME] [--seed S --size K]` — run the
+/// dt-check oracle suite (or replay one exact case). Never returns.
+fn run_check(raw: &[String]) -> ! {
+    let mut seeds: u32 = 100;
+    let mut prop: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut size: Option<usize> = None;
+    let mut i = 0;
+    while i < raw.len() {
+        let flag = raw[i].as_str();
+        let Some(value) = raw.get(i + 1) else {
+            eprintln!("error: {flag} requires a value");
+            eprintln!("usage: repro check [--seeds N] [--prop NAME] [--seed S --size K]");
+            std::process::exit(2);
+        };
+        let parsed: Result<(), String> = match flag {
+            "--seeds" => value.parse().map(|v| seeds = v).map_err(|e| format!("{e}")),
+            "--prop" => {
+                prop = Some(value.clone());
+                Ok(())
+            }
+            "--seed" => value.parse().map(|v| seed = Some(v)).map_err(|e| format!("{e}")),
+            "--size" => value.parse().map(|v| size = Some(v)).map_err(|e| format!("{e}")),
+            other => {
+                eprintln!(
+                    "error: unknown check flag '{other}' (valid: --seeds, --prop, --seed, --size)"
+                );
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: bad value '{value}' for {flag}: {e}");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+
+    let mut props = dt_check::registry();
+    if let Some(name) = &prop {
+        props.retain(|p| p.name == name.as_str());
+        if props.is_empty() {
+            eprintln!("error: unknown property '{name}'; registered properties:");
+            for p in dt_check::registry() {
+                eprintln!("  {:44}  {}", p.name, p.about);
+            }
+            std::process::exit(2);
+        }
+    }
+
+    // Replay mode: one fully-determined case, exactly as a reproducer
+    // line prints it.
+    if seed.is_some() || size.is_some() {
+        let (Some(seed), Some(size), Some(name)) = (seed, size, &prop) else {
+            eprintln!("error: replay mode needs all of --prop, --seed, and --size");
+            std::process::exit(2);
+        };
+        let p = &props[0];
+        match dt_check::run_case(p, seed, size) {
+            Ok(()) => {
+                println!("{name}: ok at seed {seed} size {size}");
+                std::process::exit(0);
+            }
+            Err(f) => {
+                println!("{name}: FAILED at seed {seed} size {size}: {}", f.message);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let report = dt_check::run_suite(&props, seeds);
+    print!("{}", report.render());
+    std::process::exit(if report.failed() { 1 } else { 0 });
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("check") {
+        run_check(&raw[1..]);
+    }
     let all = experiments::all();
 
     let mut names: Vec<String> = Vec::new();

@@ -25,7 +25,7 @@ pub fn run() -> Report {
         "[10, 8 | 6, 5]".into(),
         fmt_ratio(naive),
     ]);
-    let order = intra_reorder_indices(&sizes, 2);
+    let order = intra_reorder_indices(&sizes, 2).expect("4 samples split into 2 DP groups");
     let reordered: Vec<f64> = order.iter().map(|&i| sizes[i]).collect();
     let balanced = max_group_load(&reordered, 2) / mean;
     r.row(vec![
@@ -39,7 +39,7 @@ pub fn run() -> Report {
     let big: Vec<f64> = (0..64).map(|_| rng.lognormal(2.0, 1.0)).collect();
     let mean8 = big.iter().sum::<f64>() / 8.0;
     let naive8 = max_group_load(&big, 8) / mean8;
-    let order8 = intra_reorder_indices(&big, 8);
+    let order8 = intra_reorder_indices(&big, 8).expect("64 samples split into 8 DP groups");
     let re8: Vec<f64> = order8.iter().map(|&i| big[i]).collect();
     let bal8 = max_group_load(&re8, 8) / mean8;
     r.row(vec!["64 lognormal, DP=8 (random)".into(), "-".into(), fmt_ratio(naive8)]);
@@ -54,7 +54,7 @@ mod tests {
     #[test]
     fn worked_example_balances_the_groups() {
         let sizes = [10.0, 8.0, 6.0, 5.0];
-        let order = intra_reorder_indices(&sizes, 2);
+        let order = intra_reorder_indices(&sizes, 2).unwrap();
         let reordered: Vec<f64> = order.iter().map(|&i| sizes[i]).collect();
         assert!(max_group_load(&reordered, 2) < max_group_load(&sizes, 2));
         assert_eq!(max_group_load(&reordered, 2), 15.0); // 10+5 | 8+6 → 15 vs 14… max 15

@@ -1,0 +1,173 @@
+//! Seeded generators for the domain types the oracles exercise.
+//!
+//! Everything is driven by a caller-supplied [`DetRng`], so a case is
+//! fully reproducible from `(seed, size)`. Generators lean on the real
+//! domain constructors (`SyntheticLaion` for LAION-skewed batches, the
+//! planner's own `ProblemSpec`) rather than inventing parallel shapes —
+//! the point is to feed the oracles inputs the production paths really
+//! see, plus the hostile variants (truncated and corrupted wire streams)
+//! they must survive.
+
+use dt_data::{DataConfig, SyntheticLaion, TrainSample};
+use dt_orchestrator::formulate::ProblemSpec;
+use dt_pipeline::Workload;
+use dt_preprocess::wire::{write_frame, write_json, BatchHeader, Request};
+use dt_simengine::{DetRng, SimDuration};
+
+/// A batch of `n` LAION-skewed multimodal samples.
+pub fn sample_batch(rng: &mut DetRng, n: usize) -> Vec<TrainSample> {
+    SyntheticLaion::new(DataConfig::characterization(), rng.next_u64()).take(n)
+}
+
+/// `n` log-normal sample/microbatch sizes — the §2.3 heavy-tailed
+/// multimodal load distribution.
+pub fn lognormal_sizes(rng: &mut DetRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.lognormal(0.0, 1.0)).collect()
+}
+
+/// A pipeline shape `(stages, microbatches)` with both dimensions ≥ 1 and
+/// microbatches scaled by `size`.
+pub fn pipeline_shape(rng: &mut DetRng, size: usize) -> (usize, usize) {
+    let p = rng.range_usize(1, 9);
+    let l = rng.range_usize(1, size.max(1) + 1);
+    (p, l)
+}
+
+/// A heterogeneous `[stage][microbatch]` workload for the 1F1B simulator.
+pub fn heterogeneous_workload(rng: &mut DetRng, p: usize, l: usize) -> Workload {
+    let d = |rng: &mut DetRng| SimDuration::from_nanos(rng.range_u64(1, 500));
+    Workload {
+        fwd: (0..p).map(|_| (0..l).map(|_| d(rng)).collect()).collect(),
+        bwd: (0..p).map(|_| (0..l).map(|_| d(rng)).collect()).collect(),
+    }
+}
+
+/// A random planner problem spec over the cluster shapes the evaluation
+/// sweeps (kept small enough that the full serial/parallel differential
+/// stays fast under `--seeds 200`).
+pub fn problem_spec(rng: &mut DetRng) -> ProblemSpec {
+    ProblemSpec {
+        total_gpus: 8 * *rng.pick(&[1u32, 2, 3, 6, 12]),
+        gpus_per_node: 8,
+        hbm_bytes: *rng.pick(&[80 * (1u64 << 30), 40 * (1 << 30)]),
+        global_batch: *rng.pick(&[16u32, 40, 64, 128]),
+        microbatch: *rng.pick(&[1u32, 2]),
+        vpp: *rng.pick(&[1u32, 2]),
+        pp_hop_secs: *rng.pick(&[0.0, 0.02]),
+    }
+}
+
+/// A well-formed wire stream: a few control/header/raw frames in protocol
+/// order. Returns the stream plus the payloads, in frame order.
+pub fn wire_stream(rng: &mut DetRng, frames: usize) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let mut buf = Vec::new();
+    let mut payloads = Vec::new();
+    for _ in 0..frames.max(1) {
+        let start = buf.len();
+        match rng.range_usize(0, 3) {
+            0 => {
+                let req = if rng.chance(0.5) {
+                    Request::FetchBatch { count: rng.range_u64(1, 256) as u32 }
+                } else {
+                    Request::Shutdown
+                };
+                write_json(&mut buf, &req).expect("vec write cannot fail");
+            }
+            1 => {
+                let n = rng.range_usize(1, 4);
+                let samples = sample_batch(rng, n);
+                let token_lens = samples.iter().map(|_| rng.range_u64(1, 4096)).collect();
+                let header = BatchHeader {
+                    samples,
+                    token_lens,
+                    producer_cpu_ns: rng.next_u64() >> 16,
+                };
+                write_json(&mut buf, &header).expect("vec write cannot fail");
+            }
+            _ => {
+                let raw_len = rng.range_usize(0, 2048);
+                let raw = rng.bytes(raw_len);
+                write_frame(&mut buf, &raw).expect("vec write cannot fail");
+            }
+        }
+        payloads.push(buf[start + 4..].to_vec());
+    }
+    (buf, payloads)
+}
+
+/// A hostile wire stream: a valid stream that is then truncated,
+/// bit-flipped, prefixed with a lying length header, or replaced with
+/// pure garbage. Decoders must error cleanly — never panic, never
+/// balloon memory.
+pub fn corrupt_wire_stream(rng: &mut DetRng, size: usize) -> Vec<u8> {
+    let (mut buf, _) = wire_stream(rng, size.clamp(1, 6));
+    match rng.range_usize(0, 4) {
+        0 => {
+            // Truncate mid-frame.
+            let keep = rng.range_usize(0, buf.len());
+            buf.truncate(keep);
+        }
+        1 => {
+            // Flip random bytes (length headers included).
+            for _ in 0..rng.range_usize(1, 9) {
+                let at = rng.range_usize(0, buf.len());
+                buf[at] ^= rng.next_u64() as u8 | 1;
+            }
+        }
+        2 => {
+            // Prefix a frame whose header claims far more than follows.
+            let mut lying = Vec::new();
+            let claim = rng.range_u64(1 << 20, 1 << 30) as u32;
+            lying.extend_from_slice(&claim.to_le_bytes());
+            let tail = rng.range_usize(0, 64);
+            lying.extend_from_slice(&rng.bytes(tail));
+            lying.extend_from_slice(&buf);
+            buf = lying;
+        }
+        _ => {
+            // Pure garbage.
+            let garbage_len = rng.range_usize(0, 512);
+            buf = rng.bytes(garbage_len);
+        }
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_preprocess::wire::read_frame;
+    use std::io::Cursor;
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let batch = |seed: u64| sample_batch(&mut DetRng::new(seed), 8);
+        assert_eq!(batch(5), batch(5));
+        assert_ne!(batch(5), batch(6));
+        let stream = |seed: u64| corrupt_wire_stream(&mut DetRng::new(seed), 4);
+        assert_eq!(stream(9), stream(9));
+    }
+
+    #[test]
+    fn wire_stream_frames_parse_back() {
+        let mut rng = DetRng::new(3);
+        let (buf, payloads) = wire_stream(&mut rng, 5);
+        let mut cur = Cursor::new(buf);
+        for p in &payloads {
+            assert_eq!(&read_frame(&mut cur).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn problem_specs_stay_on_the_supported_lattice() {
+        let mut rng = DetRng::new(7);
+        for _ in 0..50 {
+            let s = problem_spec(&mut rng);
+            assert!(s.total_gpus >= 8 && s.total_gpus.is_multiple_of(8));
+            assert!(
+                s.global_batch.is_multiple_of(s.microbatch),
+                "sweep specs keep a non-empty lattice"
+            );
+        }
+    }
+}

@@ -31,7 +31,15 @@ pub enum StageOp {
 impl Schedule {
     /// The serial operation order stage `s` (of `p`) executes for `l`
     /// microbatches.
+    ///
+    /// Out-of-range inputs (`s >= p`, `p == 0`, `l == 0`) yield an empty
+    /// order: there is no such stage or nothing to run. The 1F1B warm-up
+    /// depth `p − s` would otherwise underflow for `s >= p` (a debug panic
+    /// or a release wrap into an absurd warm-up).
     pub fn stage_order(&self, s: usize, p: usize, l: usize) -> Vec<StageOp> {
+        if p == 0 || s >= p || l == 0 {
+            return Vec::new();
+        }
         match self {
             Schedule::GPipe => {
                 let mut ops: Vec<StageOp> = (0..l).map(StageOp::Fwd).collect();
@@ -140,6 +148,26 @@ mod tests {
                 let bpos = ops.iter().position(|o| *o == Bwd(i)).unwrap();
                 assert!(fpos < bpos, "stage {s}: B{i} before F{i}");
             }
+        }
+    }
+
+    /// Regression: `s >= p` used to underflow the 1F1B warm-up depth
+    /// `p − s` (debug panic / release wrap); out-of-range stages now get
+    /// an empty order.
+    #[test]
+    fn out_of_range_stage_yields_empty_order() {
+        for sched in [Schedule::GPipe, Schedule::OneFOneB, Schedule::Interleaved { vpp: 2 }] {
+            assert!(sched.stage_order(4, 4, 6).is_empty(), "s == p");
+            assert!(sched.stage_order(9, 4, 6).is_empty(), "s > p");
+        }
+    }
+
+    #[test]
+    fn degenerate_pipeline_shapes_yield_empty_orders() {
+        for sched in [Schedule::GPipe, Schedule::OneFOneB, Schedule::Interleaved { vpp: 2 }] {
+            assert!(sched.stage_order(0, 0, 6).is_empty(), "p == 0");
+            assert!(sched.stage_order(0, 4, 0).is_empty(), "l == 0");
+            assert!(sched.stage_order(0, 0, 0).is_empty(), "p == l == 0");
         }
     }
 

@@ -49,11 +49,15 @@ impl ReorderPlanner {
         if !samples.len().is_multiple_of(dp * m) {
             // Misconfigured batch: refuse to reorder rather than corrupt
             // the DP split (the trainer validates divisibility anyway).
+            // This is the documented pass-through policy for
+            // `ReorderError::IndivisibleBatch` — checked up front so the
+            // expect below is unreachable.
             return samples;
         }
 
         // Algorithm 1: balance multimodal load across DP groups.
-        let balanced = intra_reorder(samples, dp, |s| multimodal_size(&self.model, s));
+        let balanced = intra_reorder(samples, dp, |s| multimodal_size(&self.model, s))
+            .expect("divisibility checked above");
         if matches!(self.mode, ReorderMode::IntraOnly) {
             return balanced;
         }

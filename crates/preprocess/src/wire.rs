@@ -149,7 +149,19 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// How much payload [`read_frame`] buffers per read step — and therefore
+/// the most memory a corrupt length header can cost before the stream
+/// proves it actually carries that many bytes.
+pub const FRAME_READ_CHUNK: usize = 64 * 1024;
+
 /// Read one frame.
+///
+/// The length header is untrusted input: a corrupt 4-byte prefix can
+/// claim anything up to [`MAX_FRAME`] (1 GiB), so the payload buffer is
+/// grown incrementally ([`FRAME_READ_CHUNK`] at a time) as bytes actually
+/// arrive, never allocated eagerly from the header. A truncated or
+/// corrupt stream errors with [`io::ErrorKind::UnexpectedEof`] after
+/// buffering at most the bytes it really sent (plus one chunk).
 pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     let mut head = [0u8; 4];
     r.read_exact(&mut head)?;
@@ -157,8 +169,15 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     if len > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let len = len as usize;
+    let mut payload: Vec<u8> = Vec::with_capacity(len.min(FRAME_READ_CHUNK));
+    let mut filled = 0usize;
+    while filled < len {
+        let step = (len - filled).min(FRAME_READ_CHUNK);
+        payload.resize(filled + step, 0);
+        r.read_exact(&mut payload[filled..filled + step])?;
+        filled += step;
+    }
     Ok(payload)
 }
 
@@ -243,6 +262,28 @@ mod tests {
         let mut cur = Cursor::new(buf);
         let err = read_frame(&mut cur).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Regression: a corrupt header claiming a huge frame over a stream
+    /// that then ends must error with `UnexpectedEof` — the old eager
+    /// `vec![0u8; len]` ballooned to the claimed size before reading a
+    /// single payload byte (the allocation bound itself is pinned by the
+    /// counting-allocator test in `tests/wire_alloc.rs`).
+    #[test]
+    fn corrupt_length_header_errors_cleanly() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAX_FRAME.to_le_bytes()); // claims 1 GiB
+        buf.extend_from_slice(&[7u8; 100]); // …but carries 100 bytes
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn multi_chunk_frame_round_trips() {
+        let payload: Vec<u8> = (0..3 * FRAME_READ_CHUNK + 17).map(|i| i as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), payload);
     }
 
     #[test]

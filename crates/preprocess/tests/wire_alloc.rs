@@ -1,0 +1,70 @@
+//! Allocation-bound regression for the wire protocol: a corrupt length
+//! header must never translate into an eager giant allocation.
+//!
+//! `read_frame` used to do `vec![0u8; len]` straight from the untrusted
+//! 4-byte header — a corrupt stream claiming `MAX_FRAME` (1 GiB) cost the
+//! feeder a 1 GiB zeroed buffer before the first payload byte arrived.
+//! This binary installs a counting allocator (the `dt-telemetry`
+//! zero-allocation test precedent) and pins the *largest single
+//! allocation request* made while reading a truncated 1 GiB-claiming
+//! frame to at most one read chunk.
+
+use dt_preprocess::wire::{read_frame, write_frame, FRAME_READ_CHUNK, MAX_FRAME};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Cursor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Records the largest single allocation request since the last reset.
+struct PeakTrackingAlloc;
+
+static PEAK_REQUEST: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for PeakTrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        PEAK_REQUEST.fetch_max(layout.size(), Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        PEAK_REQUEST.fetch_max(new_size, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakTrackingAlloc = PeakTrackingAlloc;
+
+#[test]
+fn corrupt_header_never_balloons_memory() {
+    // A frame header claiming the 1 GiB maximum, backed by only 100 real
+    // bytes — the shape a truncated or corrupted producer stream takes.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAX_FRAME.to_le_bytes());
+    buf.extend_from_slice(&[0u8; 100]);
+
+    PEAK_REQUEST.store(0, Ordering::Relaxed);
+    let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+    let peak = PEAK_REQUEST.load(Ordering::Relaxed);
+
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    assert!(
+        peak <= 2 * FRAME_READ_CHUNK,
+        "corrupt 1 GiB header caused a {peak}-byte allocation request \
+         (bound: {} bytes)",
+        2 * FRAME_READ_CHUNK
+    );
+}
+
+#[test]
+fn honest_large_frames_still_arrive_whole() {
+    // Sanity: the incremental path still reassembles a frame far larger
+    // than one chunk when the bytes genuinely exist.
+    let payload: Vec<u8> = (0..5 * FRAME_READ_CHUNK).map(|i| (i * 31) as u8).collect();
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &payload).unwrap();
+    assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), payload);
+}

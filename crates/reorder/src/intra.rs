@@ -11,20 +11,30 @@
 //! linear scan, which for production `m` ≤ a few hundred is faster in
 //! practice than a heap).
 
+use crate::error::ReorderError;
+
 /// Reorder `samples` so that splitting the result into `m` contiguous
 /// equal-count chunks yields balanced total `size`. Returns the permuted
-/// samples.
+/// samples, or [`ReorderError::IndivisibleBatch`] when no equal-count
+/// split exists (the caller decides the policy — `ReorderPlanner` passes
+/// such batches through unreordered).
 ///
 /// Mirrors the paper's Algorithm 1 line by line, with one practical
 /// addition: because the trainer splits the batch into *equal-count*
 /// chunks, the greedy must not overfill a group's sample quota
 /// (`n / m`); the argmin therefore skips full groups.
-pub fn intra_reorder<T>(samples: Vec<T>, m: usize, size: impl Fn(&T) -> f64) -> Vec<T> {
+pub fn intra_reorder<T>(
+    samples: Vec<T>,
+    m: usize,
+    size: impl Fn(&T) -> f64,
+) -> Result<Vec<T>, ReorderError> {
     let n = samples.len();
     if m <= 1 || n == 0 {
-        return samples;
+        return Ok(samples);
     }
-    assert!(n.is_multiple_of(m), "batch of {n} not divisible into {m} DP groups");
+    if !n.is_multiple_of(m) {
+        return Err(ReorderError::IndivisibleBatch { n, m });
+    }
     let quota = n / m;
 
     // Line 3: sort in descending order by size.
@@ -54,28 +64,42 @@ pub fn intra_reorder<T>(samples: Vec<T>, m: usize, size: impl Fn(&T) -> f64) -> 
             out.push(picked[idx].take().expect("each index assigned exactly once"));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Index-permutation form of [`intra_reorder`]: returns the new order as
 /// indices into the original slice.
-pub fn intra_reorder_indices(sizes: &[f64], m: usize) -> Vec<usize> {
+pub fn intra_reorder_indices(sizes: &[f64], m: usize) -> Result<Vec<usize>, ReorderError> {
     let idx: Vec<usize> = (0..sizes.len()).collect();
     intra_reorder(idx, m, |&i| sizes[i])
 }
 
 /// The makespan metric Algorithm 1 minimizes: split `sizes` (already in
-/// dispatch order) into `m` contiguous equal-count chunks and return the
-/// largest chunk total.
+/// dispatch order) into exactly `m` contiguous groups and return the
+/// largest group total.
+///
+/// When `sizes.len()` is not divisible by `m`, the first `len % m` groups
+/// hold one extra sample, matching how a trainer hands near-equal
+/// contiguous chunks to DP ranks; when `m > sizes.len()` the trailing
+/// groups are empty (load 0). Either way exactly `m` groups are evaluated
+/// — never more (a prior version chunked by `len / m` and would silently
+/// score a trailing partial chunk as an extra group, or degenerate to
+/// one-sample chunks).
 pub fn max_group_load(sizes: &[f64], m: usize) -> f64 {
     if sizes.is_empty() || m == 0 {
         return 0.0;
     }
-    let chunk = sizes.len() / m;
-    sizes
-        .chunks(chunk.max(1))
-        .map(|c| c.iter().sum::<f64>())
-        .fold(0.0, f64::max)
+    let base = sizes.len() / m;
+    let extra = sizes.len() % m;
+    let mut max = 0.0f64;
+    let mut start = 0usize;
+    for g in 0..m {
+        let len = base + usize::from(g < extra);
+        max = max.max(sizes[start..start + len].iter().sum());
+        start += len;
+    }
+    debug_assert_eq!(start, sizes.len(), "partition must consume every sample");
+    max
 }
 
 #[cfg(test)]
@@ -88,7 +112,7 @@ mod tests {
         // Four samples, sizes descending 1 ≥ 2 ≥ 3 ≥ 4; DP=2. The paper
         // reorders [1,2,3,4] → [1,4 | 2,3]-equivalent balanced groups.
         let sizes = [10.0, 8.0, 6.0, 5.0];
-        let order = intra_reorder_indices(&sizes, 2);
+        let order = intra_reorder_indices(&sizes, 2).unwrap();
         let reordered: Vec<f64> = order.iter().map(|&i| sizes[i]).collect();
         // Group 1 gets the largest + smallest, group 2 the middle two.
         assert_eq!(reordered, vec![10.0, 5.0, 8.0, 6.0]);
@@ -100,7 +124,7 @@ mod tests {
         let mut rng = DetRng::new(1);
         let sizes: Vec<f64> = (0..64).map(|_| rng.lognormal(2.0, 1.0)).collect();
         let naive = max_group_load(&sizes, 8);
-        let order = intra_reorder_indices(&sizes, 8);
+        let order = intra_reorder_indices(&sizes, 8).unwrap();
         let reordered: Vec<f64> = order.iter().map(|&i| sizes[i]).collect();
         assert!(max_group_load(&reordered, 8) <= naive);
     }
@@ -109,7 +133,7 @@ mod tests {
     fn groups_have_equal_counts() {
         let mut rng = DetRng::new(2);
         let sizes: Vec<f64> = (0..24).map(|_| rng.range_f64(0.0, 100.0)).collect();
-        let order = intra_reorder_indices(&sizes, 6);
+        let order = intra_reorder_indices(&sizes, 6).unwrap();
         assert_eq!(order.len(), 24);
         // Equal-count chunks by construction; just confirm it's a perm.
         let mut sorted = order.clone();
@@ -118,15 +142,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not divisible")]
-    fn indivisible_batch_is_rejected() {
-        intra_reorder_indices(&[1.0; 10], 3);
+    fn indivisible_batch_returns_typed_error() {
+        assert_eq!(
+            intra_reorder_indices(&[1.0; 10], 3),
+            Err(crate::ReorderError::IndivisibleBatch { n: 10, m: 3 })
+        );
     }
 
     #[test]
     fn single_group_is_identity() {
         let v = vec![3, 1, 2];
-        assert_eq!(intra_reorder(v.clone(), 1, |&x| x as f64), v);
+        assert_eq!(intra_reorder(v.clone(), 1, |&x| x as f64).unwrap(), v);
+    }
+
+    /// Regression: a non-divisible `sizes.len()` used to be chunked by
+    /// `len / m`, which evaluated a trailing partial chunk as an extra
+    /// group (reporting more than `m` groups) — now the split is exactly
+    /// `m` contiguous groups with the first `len % m` one larger.
+    #[test]
+    fn max_group_load_splits_into_exactly_m_groups() {
+        // 5 samples, m=2 → groups [1,1,1 | 1,1]: max 3, not the old
+        // chunks-of-2 answer 2.
+        assert_eq!(max_group_load(&[1.0; 5], 2), 3.0);
+        // 3 samples, m=2 → groups [5+1 | 1]: max 6, not the old
+        // one-sample-chunk answer 5.
+        assert_eq!(max_group_load(&[5.0, 1.0, 1.0], 2), 6.0);
+        // 5 samples, m=3 → groups [2,2,1], not five one-sample chunks.
+        assert_eq!(max_group_load(&[1.0, 1.0, 1.0, 1.0, 1.0], 3), 2.0);
+    }
+
+    /// Regression: `m > sizes.len()` used to degenerate to one-sample
+    /// chunks; now the trailing groups are empty and contribute load 0.
+    #[test]
+    fn max_group_load_with_more_groups_than_samples() {
+        assert_eq!(max_group_load(&[2.0, 3.0], 5), 3.0);
+        assert_eq!(max_group_load(&[7.0], 4), 7.0);
+    }
+
+    #[test]
+    fn max_group_load_divisible_case_is_unchanged() {
+        assert_eq!(max_group_load(&[10.0, 5.0, 8.0, 6.0], 2), 15.0);
+        assert_eq!(max_group_load(&[1.0, 2.0, 3.0, 4.0], 4), 4.0);
+        assert_eq!(max_group_load(&[1.0, 2.0], 1), 3.0);
     }
 
     /// Exact optimum by exhaustive assignment for tiny instances, used to
@@ -179,7 +236,7 @@ mod tests {
             let per_group = rng.range_usize(1, 6);
             let n = n_groups * per_group;
             let sizes: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 50.0)).collect();
-            let order = intra_reorder_indices(&sizes, n_groups);
+            let order = intra_reorder_indices(&sizes, n_groups).unwrap();
             let mut sorted = order.clone();
             sorted.sort_unstable();
             assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "seed {seed}");
@@ -196,7 +253,7 @@ mod tests {
             let per_group = rng.range_usize(2, 4);
             let n = m * per_group;
             let sizes: Vec<f64> = (0..n).map(|_| rng.range_f64(1.0, 100.0)).collect();
-            let order = intra_reorder_indices(&sizes, m);
+            let order = intra_reorder_indices(&sizes, m).unwrap();
             let reordered: Vec<f64> = order.iter().map(|&i| sizes[i]).collect();
             let lpt = max_group_load(&reordered, m);
             let opt = brute_force_opt(&sizes, m);

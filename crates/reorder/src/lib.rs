@@ -27,8 +27,10 @@
 //! end-to-end effect shows up as reduced `bubble` span time in the trace
 //! export (see the README's *Observability* section).
 
+pub mod error;
 pub mod inter;
 pub mod intra;
 
+pub use error::ReorderError;
 pub use inter::{get_interval, inter_reorder, InterReorderConfig};
 pub use intra::{intra_reorder, intra_reorder_indices, max_group_load};

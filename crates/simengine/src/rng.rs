@@ -135,6 +135,17 @@ impl DetRng {
         n
     }
 
+    /// Choose one element uniformly. Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from an empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// `len` independent uniform bytes (fuzz payloads, wire streams).
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -232,6 +243,28 @@ mod tests {
         }
         assert!(counts[0] > counts[3]);
         assert!(counts[3] > counts[7]);
+    }
+
+    #[test]
+    fn pick_stays_in_bounds_and_covers_the_slice() {
+        let mut r = DetRng::new(29);
+        let items = [10u32, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = *r.pick(&items);
+            seen[(v / 10 - 1) as usize] = true;
+            assert!(items.contains(&v));
+        }
+        assert!(seen.iter().all(|&s| s), "200 draws should hit all 3 elements");
+    }
+
+    #[test]
+    fn bytes_are_deterministic_and_sized() {
+        let a = DetRng::new(31).bytes(64);
+        let b = DetRng::new(31).bytes(64);
+        assert_eq!(a.len(), 64);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x != a[0]), "64 bytes should not be constant");
     }
 
     #[test]

@@ -13,6 +13,11 @@ cargo clippy --workspace --all-targets --quiet -- -D warnings
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
+echo "==> repro check --seeds 200 (property-check & differential-oracle suite)"
+# Deterministic: any failure prints a one-line reproducer
+# (repro check --prop <name> --seed <s> --size <k>) that replays the case.
+./target/release/repro check --seeds 200
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 

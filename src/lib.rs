@@ -75,8 +75,10 @@
 //! [`core`] (the DistTrain manager/runtime itself), [`elastic`]
 //! (fault-tolerant elastic training: MTBF failure streams, spare pools,
 //! shrink + re-orchestration, Young–Daly checkpointing, goodput
-//! accounting), and [`telemetry`] (the metrics layer: lock-light registry,
-//! Prometheus/JSON exposition, straggler anomaly detection). Observability —
+//! accounting), [`telemetry`] (the metrics layer: lock-light registry,
+//! Prometheus/JSON exposition, straggler anomaly detection), and [`check`]
+//! (the deterministic property-check & differential-oracle harness behind
+//! `repro check`). Observability —
 //! span recording ([`simengine::trace`]), Chrome-trace export, per-module
 //! breakdowns, and the metrics registry ([`telemetry::Telemetry`], fed by
 //! [`core::Runtime::run_telemetry`] and scanned by
@@ -84,6 +86,7 @@
 //! *Observability* section.
 
 pub use disttrain_core as core;
+pub use dt_check as check;
 pub use dt_cluster as cluster;
 pub use dt_data as data;
 pub use dt_elastic as elastic;
