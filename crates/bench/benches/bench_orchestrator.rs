@@ -1,84 +1,113 @@
 //! Table 3 as a micro-benchmark: the disaggregated-model-orchestration
 //! solve time at the paper's four (cluster, batch) scales for MLLM-72B,
-//! plus the §7.2 ablation point (96 GPUs), each in both search modes.
+//! plus the §7.2 ablation point (96 GPUs), each in all three search
+//! modes (exhaustive serial, sharded parallel, branch-and-bound pruned).
 //! The paper's CVX-based solver reports 133–922 ms; ours must stay
-//! sub-second at every scale.
+//! sub-second at every scale. A second sweep pushes the pruned search to
+//! 10k–100k GPUs — lattices far past what the exhaustive traversal can
+//! cover interactively — and records the proven-optimality certificate
+//! alongside nodes expanded vs. pruned.
 //!
 //! Emits `BENCH_solver.json` (override the path with
-//! `DT_BENCH_SOLVER_JSON`) with per-scale serial/parallel mean and min
-//! times, candidate counts, cache hits, and the worker count — the
-//! machine-readable perf trajectory `scripts/verify.sh` checks in on. On
-//! hosts with ≥2 workers the run fails if the parallel search is slower
-//! than serial at the 96-GPU point (beyond 2% timing noise); on
-//! single-core hosts the parallel mode falls back to inline execution and
-//! the gate is informational only.
+//! `DT_BENCH_SOLVER_JSON`) with per-scale mean/min times for every mode,
+//! solve counts, branch-and-bound node accounting, and the *actual*
+//! worker count the parallel pool ran with (one entry per scale — the
+//! pool auto-sizes, so the top-level host parallelism is not what ran).
+//! `scripts/verify.sh` checks in on this file. Gates, applied after the
+//! JSON is written so a failed run still leaves the evidence: the pruned
+//! search must not lose to the serial traversal at the 96-GPU ablation
+//! point (2% noise allowance on min-of-iters), and with ≥2 real workers
+//! the same holds for the parallel search.
 
 use dt_bench::timing::{bench_stats, iters_or};
 use dt_cluster::{ClusterSpec, CollectiveCost};
 use dt_data::SyntheticLaion;
-use dt_model::MllmPreset;
+use dt_model::{MllmPreset, MultimodalLlm};
 use dt_orchestrator::formulate::ProblemSpec;
-use dt_orchestrator::{Orchestrator, PerfModel, Profiler, SearchMode};
+use dt_orchestrator::{Orchestrator, PerfModel, Profiler, SearchMode, TaskProfile};
 use dt_simengine::Json;
 use std::time::Duration;
 
+fn setup(model: &MultimodalLlm, gpus: u32, batch: u32) -> (TaskProfile, ProblemSpec) {
+    let cluster = ClusterSpec::production(gpus.div_ceil(8));
+    let coll = CollectiveCost::new(cluster.clone());
+    let perf = PerfModel::new(model, &cluster.node.gpu, &coll).with_stepccl();
+    let mut data = SyntheticLaion::new(dt_data::DataConfig::evaluation(1024), 3);
+    let profile = Profiler.profile(&perf, &data.take(64));
+    let spec = ProblemSpec {
+        total_gpus: gpus,
+        gpus_per_node: 8,
+        hbm_bytes: cluster.node.gpu.hbm_bytes,
+        global_batch: batch,
+        microbatch: 1,
+        vpp: 1,
+        pp_hop_secs: 0.02,
+    };
+    (profile, spec)
+}
+
 fn main() {
     let iters = iters_or(3);
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let model = MllmPreset::Mllm72B.build();
     let mut scales: Vec<Json> = Vec::new();
     let mut gate_violation: Option<String> = None;
+    let ms = |d: Duration| Json::Num(d.as_secs_f64() * 1e3);
 
     for (gpus, batch) in [(1296u32, 1920u32), (648, 960), (324, 480), (112, 240), (96, 128)] {
-        let cluster = ClusterSpec::production(gpus.div_ceil(8));
-        let coll = CollectiveCost::new(cluster.clone());
-        let perf = PerfModel::new(&model, &cluster.node.gpu, &coll).with_stepccl();
-        let mut data = SyntheticLaion::new(dt_data::DataConfig::evaluation(1024), 3);
-        let profile = Profiler.profile(&perf, &data.take(64));
-        let spec = ProblemSpec {
-            total_gpus: gpus,
-            gpus_per_node: 8,
-            hbm_bytes: cluster.node.gpu.hbm_bytes,
-            global_batch: batch,
-            microbatch: 1,
-            vpp: 1,
-            pp_hop_secs: 0.02,
-        };
+        let (profile, spec) = setup(&model, gpus, batch);
+        // `top_k(1)` is the deployment path this bench times: produce the
+        // single best plan. The widening pass stops as soon as the optimum
+        // is certified instead of reconstructing a full top-12 ranking.
         let orch = |mode: SearchMode| {
-            Orchestrator::builder().spec(spec).search_mode(mode).build().expect("valid spec")
+            Orchestrator::builder()
+                .spec(spec)
+                .search_mode(mode)
+                .top_k(1)
+                .build()
+                .expect("valid spec")
         };
         let serial_orch = orch(SearchMode::Serial);
         let parallel_orch = orch(SearchMode::Parallel);
-        let (serial_mean, serial_min) =
-            bench_stats(&format!("table3_orchestration/{gpus}gpus_bs{batch}/serial"), iters, || {
-                serial_orch.plan_with_profile(&model, &profile).expect("plan")
-            });
-        let (parallel_mean, parallel_min) = bench_stats(
-            &format!("table3_orchestration/{gpus}gpus_bs{batch}/parallel"),
-            iters,
-            || parallel_orch.plan_with_profile(&model, &profile).expect("plan"),
-        );
-        assert!(serial_mean < Duration::from_secs(5), "solver implausibly slow: {serial_mean:?}");
-        assert!(
-            parallel_mean < Duration::from_secs(5),
-            "solver implausibly slow: {parallel_mean:?}"
-        );
+        let pruned_orch = orch(SearchMode::Pruned);
+        let name = |mode: &str| format!("table3_orchestration/{gpus}gpus_bs{batch}/{mode}");
+        let (serial_mean, serial_min) = bench_stats(&name("serial"), iters, || {
+            serial_orch.plan_with_profile(&model, &profile).expect("plan")
+        });
+        let (parallel_mean, parallel_min) = bench_stats(&name("parallel"), iters, || {
+            parallel_orch.plan_with_profile(&model, &profile).expect("plan")
+        });
+        let (pruned_mean, pruned_min) = bench_stats(&name("pruned"), iters, || {
+            pruned_orch.plan_with_profile(&model, &profile).expect("plan")
+        });
+        for mean in [serial_mean, parallel_mean, pruned_mean] {
+            assert!(mean < Duration::from_secs(5), "solver implausibly slow: {mean:?}");
+        }
 
-        let report = parallel_orch.plan_with_profile(&model, &profile).expect("plan");
+        let parallel = parallel_orch.plan_with_profile(&model, &profile).expect("plan");
+        let pruned = pruned_orch.plan_with_profile(&model, &profile).expect("plan");
         let reference = serial_orch.plan_with_profile(&model, &profile).expect("plan");
-        assert_eq!(report.plan, reference.plan, "search modes must agree bit-for-bit");
+        assert_eq!(parallel.plan, reference.plan, "search modes must agree bit-for-bit");
+        assert_eq!(pruned.plan, reference.plan, "pruning must not change the plan");
+        assert!(pruned.proven_optimal, "the pruned search must certify optimality");
 
-        // The CI gate: with real workers, sharding must not lose to the
-        // serial traversal at the ablation scale (2% noise allowance on
-        // min-of-iters).
-        if gpus == 96 && workers >= 2 && parallel_min > serial_min.mul_f64(1.02) {
+        // The CI gates (checked after the JSON is written): branch-and-bound
+        // must beat — or at worst tie, within 2% timing noise on
+        // min-of-iters — the exhaustive serial traversal at the ablation
+        // scale, and with real workers the sharded parallel mode must too.
+        if gpus == 96 && pruned_min > serial_min.mul_f64(1.02) {
             gate_violation = Some(format!(
-                "parallel search slower than serial at 96 GPUs with {workers} workers: \
+                "pruned search slower than exhaustive serial at 96 GPUs: \
+                 {pruned_min:?} vs {serial_min:?}"
+            ));
+        }
+        if gpus == 96 && host_workers >= 2 && parallel_min > serial_min.mul_f64(1.02) {
+            gate_violation = Some(format!(
+                "parallel search slower than serial at 96 GPUs with {host_workers} workers: \
                  {parallel_min:?} vs {serial_min:?}"
             ));
         }
 
-        let ms = |d: Duration| Json::Num(d.as_secs_f64() * 1e3);
         scales.push(Json::obj(vec![
             ("gpus", Json::num_u64(u64::from(gpus))),
             ("global_batch", Json::num_u64(u64::from(batch))),
@@ -86,21 +115,94 @@ fn main() {
             ("serial_min_ms", ms(serial_min)),
             ("parallel_mean_ms", ms(parallel_mean)),
             ("parallel_min_ms", ms(parallel_min)),
+            ("pruned_mean_ms", ms(pruned_mean)),
+            ("pruned_min_ms", ms(pruned_min)),
             (
                 "speedup_min",
+                Json::Num(serial_min.as_secs_f64() / pruned_min.as_secs_f64().max(1e-9)),
+            ),
+            (
+                "parallel_speedup_min",
                 Json::Num(serial_min.as_secs_f64() / parallel_min.as_secs_f64().max(1e-9)),
             ),
-            ("candidates_evaluated", Json::num_u64(report.candidates_evaluated as u64)),
-            ("cache_hits", Json::num_u64(report.cache_hits)),
+            ("candidates_evaluated", Json::num_u64(reference.candidates_evaluated as u64)),
+            ("pruned_solves", Json::num_u64(pruned.candidates_evaluated as u64)),
+            ("nodes_expanded", Json::num_u64(pruned.nodes_expanded as u64)),
+            ("nodes_pruned", Json::num_u64(pruned.nodes_pruned as u64)),
+            ("proven_optimal", Json::Bool(pruned.proven_optimal)),
+            ("cache_hits", Json::num_u64(reference.cache_hits)),
+            // The parallel pool auto-sizes to min(host, lattice pairs):
+            // record what actually ran, not the builder request.
+            ("workers", Json::num_u64(parallel.shard_wall_times.len() as u64)),
         ]));
+    }
+
+    // The scale sweep: lattices at 10k–100k GPUs, where exhaustive
+    // enumeration stops being interactive. The serial reference is still
+    // measured at the smallest sweep point (so `speedup_min` stays a
+    // measured ratio there); beyond it only the pruned search runs, and
+    // optimality rests on the branch-and-bound certificate instead.
+    let mut sweep: Vec<Json> = Vec::new();
+    for (gpus, batch) in [(10_368u32, 3_840u32), (41_472, 7_680), (103_680, 15_360)] {
+        let (profile, spec) = setup(&model, gpus, batch);
+        let orch = |mode: SearchMode| {
+            Orchestrator::builder()
+                .spec(spec)
+                .search_mode(mode)
+                .top_k(1)
+                .build()
+                .expect("valid spec")
+        };
+        let pruned_orch = orch(SearchMode::Pruned);
+        let (pruned_mean, pruned_min) = bench_stats(
+            &format!("solver_sweep/{gpus}gpus_bs{batch}/pruned"),
+            iters,
+            || pruned_orch.plan_with_profile(&model, &profile).expect("plan"),
+        );
+        assert!(pruned_mean < Duration::from_secs(30), "pruned sweep too slow: {pruned_mean:?}");
+        let pruned = pruned_orch.plan_with_profile(&model, &profile).expect("plan");
+        assert!(pruned.proven_optimal, "the sweep rests on the optimality certificate");
+
+        let mut fields = vec![
+            ("gpus", Json::num_u64(u64::from(gpus))),
+            ("global_batch", Json::num_u64(u64::from(batch))),
+            ("pruned_mean_ms", ms(pruned_mean)),
+            ("pruned_min_ms", ms(pruned_min)),
+            ("pruned_solves", Json::num_u64(pruned.candidates_evaluated as u64)),
+            ("nodes_expanded", Json::num_u64(pruned.nodes_expanded as u64)),
+            ("nodes_pruned", Json::num_u64(pruned.nodes_pruned as u64)),
+            ("proven_optimal", Json::Bool(pruned.proven_optimal)),
+        ];
+        if gpus == 10_368 {
+            let serial_orch = orch(SearchMode::Serial);
+            let (serial_mean, serial_min) = bench_stats(
+                &format!("solver_sweep/{gpus}gpus_bs{batch}/serial"),
+                iters,
+                || serial_orch.plan_with_profile(&model, &profile).expect("plan"),
+            );
+            let reference = serial_orch.plan_with_profile(&model, &profile).expect("plan");
+            assert_eq!(pruned.plan, reference.plan, "pruning must not change the plan");
+            fields.push(("serial_mean_ms", ms(serial_mean)));
+            fields.push(("serial_min_ms", ms(serial_min)));
+            fields.push((
+                "speedup_min",
+                Json::Num(serial_min.as_secs_f64() / pruned_min.as_secs_f64().max(1e-9)),
+            ));
+            fields.push((
+                "exhaustive_lattice",
+                Json::num_u64(reference.candidates_evaluated as u64),
+            ));
+        }
+        sweep.push(Json::obj(fields));
     }
 
     let out = Json::obj(vec![
         ("bench", Json::Str("bench_orchestrator".into())),
         ("model", Json::Str("MLLM-72B".into())),
         ("iters", Json::num_u64(u64::from(iters))),
-        ("workers", Json::num_u64(workers as u64)),
+        ("host_parallelism", Json::num_u64(host_workers as u64)),
         ("scales", Json::Arr(scales)),
+        ("scale_sweep", Json::Arr(sweep)),
     ]);
     let path = std::env::var("DT_BENCH_SOLVER_JSON")
         .unwrap_or_else(|_| "BENCH_solver.json".to_string());
@@ -108,7 +210,7 @@ fn main() {
     out.write(&mut text);
     text.push('\n');
     std::fs::write(&path, text).expect("write BENCH_solver.json");
-    println!("wrote {path} (workers={workers})");
+    println!("wrote {path} (host_parallelism={host_workers})");
 
     if let Some(violation) = gate_violation {
         panic!("{violation}");

@@ -57,6 +57,25 @@ pub fn problem_spec(rng: &mut DetRng) -> ProblemSpec {
     }
 }
 
+/// An adversarial planner spec: ~1 in 4 cases is deliberately infeasible
+/// (starved HBM, an indivisible microbatch, or a sub-minimum cluster), so
+/// differential oracles exercise the error paths — the pruned search must
+/// reproduce the serial reference's *diagnosis* too, counts included —
+/// while the rest stay on the feasible [`problem_spec`] sweep.
+pub fn adversarial_problem_spec(rng: &mut DetRng) -> ProblemSpec {
+    let mut spec = problem_spec(rng);
+    match rng.range_usize(0, 8) {
+        0 => spec.hbm_bytes = 1 << 28, // 256 MiB: the memory gate rejects all
+        1 => {
+            spec.global_batch = 16;
+            spec.microbatch = 32; // BS/M = 0: empty DP lattice
+        }
+        2 => spec.total_gpus = *rng.pick(&[1u32, 2]), // below MIN_CLUSTER_GPUS
+        _ => {}
+    }
+    spec
+}
+
 /// A well-formed wire stream: a few control/header/raw frames in protocol
 /// order. Returns the stream plus the payloads, in frame order.
 pub fn wire_stream(rng: &mut DetRng, frames: usize) -> (Vec<u8>, Vec<Vec<u8>>) {
@@ -156,6 +175,25 @@ mod tests {
         for p in &payloads {
             assert_eq!(&read_frame(&mut cur).unwrap(), p);
         }
+    }
+
+    #[test]
+    fn adversarial_specs_mix_infeasible_shapes_into_the_sweep() {
+        let mut rng = DetRng::new(11);
+        let mut infeasible = 0u32;
+        for _ in 0..200 {
+            let s = adversarial_problem_spec(&mut rng);
+            if s.hbm_bytes == 1 << 28
+                || !s.global_batch.is_multiple_of(s.microbatch)
+                || s.total_gpus < 3
+            {
+                infeasible += 1;
+            }
+        }
+        assert!(
+            (30..=120).contains(&infeasible),
+            "expected roughly a quarter infeasible, got {infeasible}/200"
+        );
     }
 
     #[test]

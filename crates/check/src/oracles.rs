@@ -89,6 +89,13 @@ pub fn registry() -> Vec<Property> {
             run: planner_differential,
         },
         Property {
+            name: "planner.pruned_matches_exhaustive",
+            about: "§4 search: branch-and-bound pruning ≡ exhaustive serial, infeasible shapes included",
+            max_size: 1,
+            max_cases: 200,
+            run: pruned_differential,
+        },
+        Property {
             name: "wire.frames_round_trip",
             about: "frame + JSON control messages encode/decode bit-exactly",
             max_size: 6,
@@ -379,6 +386,64 @@ fn planner_differential(rng: &mut DetRng, _size: usize) -> Result<(), Failure> {
     }
 }
 
+/// The optimality certificate for the branch-and-bound planner: on every
+/// generated spec — roughly a quarter deliberately infeasible — the pruned
+/// search must return the same ranked plans with bit-identical objectives
+/// as the exhaustive serial reference, claim `proven_optimal`, and on the
+/// error paths reproduce the serial diagnosis *exactly* (variant and
+/// counts). Evaluation counters are deliberately not compared: pruning
+/// solves fewer points by design.
+fn pruned_differential(rng: &mut DetRng, _size: usize) -> Result<(), Failure> {
+    let spec = gen::adversarial_problem_spec(rng);
+    let model = MllmPreset::Mllm9B.build();
+    let gpu = GpuSpec::ampere();
+    let coll = CollectiveCost::new(ClusterSpec::production((spec.total_gpus / 8).max(1)));
+    let perf = PerfModel::new(&model, &gpu, &coll);
+    let samples = gen::sample_batch(rng, 16);
+    let profile = Profiler.profile(&perf, &samples);
+    let solve = |mode: SearchMode| {
+        Orchestrator::builder()
+            .spec(spec)
+            .search_mode(mode)
+            .build()
+            .map_err(|e| Failure::new(format!("generated spec rejected: {e}")))
+            .map(|orch| orch.plan_candidates(&model, &profile))
+    };
+    let serial = solve(SearchMode::Serial)?;
+    let pruned = solve(SearchMode::Pruned)?;
+    match (serial, pruned) {
+        (Ok(s), Ok(p)) => {
+            ensure(s.len() == p.len(), || {
+                format!("{spec:?}: serial ranked {} candidates, pruned {}", s.len(), p.len())
+            })?;
+            for (i, (a, b)) in s.iter().zip(&p).enumerate() {
+                ensure(a.plan == b.plan, || {
+                    format!("{spec:?}: candidate {i} plans diverge: {:?} vs {:?}", a.plan, b.plan)
+                })?;
+                ensure(a.objective.total().to_bits() == b.objective.total().to_bits(), || {
+                    format!(
+                        "{spec:?}: candidate {i} objectives not bit-identical: {} vs {}",
+                        a.objective.total(),
+                        b.objective.total()
+                    )
+                })?;
+                ensure(b.proven_optimal, || {
+                    format!("{spec:?}: candidate {i} lacks the proven-optimal certificate")
+                })?;
+            }
+            Ok(())
+        }
+        (Err(se), Err(pe)) => ensure(se == pe, || {
+            format!("{spec:?}: serial error {se:?} vs pruned error {pe:?}")
+        }),
+        (s, p) => Err(Failure::new(format!(
+            "{spec:?}: serial {} vs pruned {}",
+            s.map(|v| format!("Ok({} candidates)", v.len())).unwrap_or_else(|e| format!("Err({e})")),
+            p.map(|v| format!("Ok({} candidates)", v.len())).unwrap_or_else(|e| format!("Err({e})")),
+        ))),
+    }
+}
+
 fn wire_round_trip(rng: &mut DetRng, size: usize) -> Result<(), Failure> {
     // Control messages round-trip through the JSON framing.
     let req = if rng.chance(0.5) {
@@ -532,6 +597,16 @@ mod tests {
         let p = registry()
             .into_iter()
             .find(|p| p.name == "planner.parallel_bit_identical_to_serial")
+            .unwrap();
+        let out = run_property(&p, 2);
+        assert!(out.failure.is_none(), "{:?}", out.failure);
+    }
+
+    #[test]
+    fn pruned_differential_holds_on_two_cases() {
+        let p = registry()
+            .into_iter()
+            .find(|p| p.name == "planner.pruned_matches_exhaustive")
             .unwrap();
         let out = run_property(&p, 2);
         assert!(out.failure.is_none(), "{:?}", out.failure);

@@ -31,4 +31,4 @@ pub use fault::{
 };
 pub use metrics::{IterationReport, TrainingReport};
 pub use runtime::{record_iteration_metrics, Runtime, RuntimeConfig};
-pub use system::{PreprocessingMode, SystemKind, TrainingSystem, TrainingTask};
+pub use system::{PreprocessingMode, ReplanContext, SystemKind, TrainingSystem, TrainingTask};

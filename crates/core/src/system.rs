@@ -8,7 +8,7 @@ use dt_data::DataConfig;
 use dt_model::MultimodalLlm;
 use dt_orchestrator::baselines::{distmm_star_plan, megatron_plan, proportional_shrink_plan};
 use dt_orchestrator::formulate::ProblemSpec;
-use dt_orchestrator::{Orchestrator, PerfModel, PlanError, Profiler};
+use dt_orchestrator::{Orchestrator, PerfModel, PlanError, Profiler, TaskProfile, WarmStart};
 use dt_parallel::OrchestrationPlan;
 use dt_preprocess::ReorderMode;
 use dt_simengine::DetRng;
@@ -48,6 +48,23 @@ pub enum PreprocessingMode {
     },
     /// On dedicated CPU nodes with prefetch (§5.1).
     Disaggregated,
+}
+
+/// Job-start state the elastic shrink path carries across replans so
+/// recovery never profiles or searches cold.
+///
+/// Built once via [`TrainingTask::replan_context`] (typically when the
+/// job starts, off the critical path). It freezes the task profile — which
+/// is cluster-size independent for multi-node clusters, so it stays exact
+/// after nodes are lost — and a [`WarmStart`] whose cost tables and
+/// observed plans seed the §4 branch-and-bound on every subsequent
+/// [`TrainingTask::replan_shrunk_warm`].
+#[derive(Debug, Clone)]
+pub struct ReplanContext {
+    /// The job-start task profile (reused verbatim by every warm replan).
+    profile: TaskProfile,
+    /// Prebuilt cost tables plus incumbent seeds for the pruned search.
+    warm: WarmStart,
 }
 
 /// A complete training task description.
@@ -222,6 +239,47 @@ impl TrainingTask {
         Some(TrainingTask { cluster, ..self.clone() })
     }
 
+    /// Build the reusable warm-replan state for this task: profile once
+    /// and freeze the §4 cost tables. Call it at job start (on the
+    /// original, un-shrunk task) and hand the context to
+    /// [`TrainingTask::replan_shrunk_warm`] after each failure.
+    pub fn replan_context(&self) -> ReplanContext {
+        let coll = CollectiveCost::new(self.cluster.clone());
+        let perf = PerfModel::new(&self.model, &self.cluster.node.gpu, &coll).with_stepccl();
+        let mut data =
+            dt_data::SyntheticLaion::new(self.data.clone(), DetRng::new(self.seed).next_u64());
+        let samples = data.take(64);
+        let profile = Profiler.profile(&perf, &samples);
+        let warm = WarmStart::new(&self.model, &profile);
+        ReplanContext { profile, warm }
+    }
+
+    /// [`TrainingTask::replan_shrunk`] with job-start warm state: the
+    /// context's profile and cost tables are reused instead of
+    /// re-profiling, and `old_plan` (plus every plan observed before it)
+    /// seeds the branch-and-bound incumbent. Returns exactly what the
+    /// cold replan would — the profile is cluster-size independent for
+    /// multi-node clusters — but with far less work on the recovery
+    /// critical path.
+    pub fn replan_shrunk_warm(
+        &self,
+        old_plan: &OrchestrationPlan,
+        ctx: &mut ReplanContext,
+    ) -> Result<OrchestrationPlan, PlanError> {
+        ctx.warm.observe(old_plan);
+        let orch = Orchestrator::builder().spec(self.problem_spec()).build()?;
+        let mut candidates: Vec<OrchestrationPlan> = orch
+            .plan_candidates_warm(&self.model, &ctx.profile, &ctx.warm)?
+            .into_iter()
+            .map(|r| r.plan)
+            .collect();
+        candidates
+            .extend(proportional_shrink_plan(&self.problem_spec(), &self.model, old_plan).ok());
+        Ok(self
+            .select_by_trial(candidates.into_iter())
+            .expect("plan_candidates guarantees a non-empty trial set"))
+    }
+
     /// Re-orchestrate after the cluster shrank: re-run the §4 search on
     /// the degraded GPU budget and trial the candidates *together with*
     /// the naive proportional shrink of `old_plan` (what a non-elastic
@@ -229,6 +287,9 @@ impl TrainingTask {
     /// set, the elastic re-plan never selects something worse than it
     /// under the §7.1 selection rule. Errs (with the §4 search's own
     /// diagnosis) when not even the naive shapes fit the survivors.
+    /// Prefer [`TrainingTask::replan_shrunk_warm`] when a
+    /// [`ReplanContext`] is available: it skips the re-profiling and
+    /// warm-starts the search.
     pub fn replan_shrunk(&self, old_plan: &OrchestrationPlan) -> Result<OrchestrationPlan, PlanError> {
         let spec = self.problem_spec();
         let coll = CollectiveCost::new(self.cluster.clone());
@@ -377,6 +438,21 @@ mod tests {
             re.mfu(),
             na.mfu()
         );
+    }
+
+    #[test]
+    fn warm_replan_matches_the_cold_replan() {
+        // Warm state built at job start (12 nodes) must drive the shrunk
+        // replan (11 nodes) to the same plan as the cold path: the
+        // profile is cluster-size independent for multi-node clusters,
+        // and the warm search is bit-identical to the cold one.
+        let t = task(MllmPreset::Mllm9B);
+        let old = t.plan(SystemKind::DistTrain).expect("initial plan");
+        let mut ctx = t.replan_context();
+        let shrunk = t.shrunk(1).unwrap();
+        let cold = shrunk.replan_shrunk(&old).expect("cold replan");
+        let warm = shrunk.replan_shrunk_warm(&old, &mut ctx).expect("warm replan");
+        assert_eq!(cold, warm);
     }
 
     #[test]

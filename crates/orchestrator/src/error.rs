@@ -30,8 +30,14 @@ pub enum PlanError {
     },
     /// Lattice points existed but none survived the §4.2 memory
     /// constraints (backbone HBM gate, full-plan validation).
+    ///
+    /// The counts are the *exhaustive-equivalent* lattice size in every
+    /// search mode: the branch-and-bound search proves infeasibility from
+    /// bounds without solving each point, but it reports the same numbers
+    /// the serial reference would — error diagnoses are bit-identical
+    /// across modes, and the differential oracles compare them exactly.
     NoMemoryFeasiblePoint {
-        /// Inner allocations actually evaluated.
+        /// Inner allocations the exhaustive traversal would evaluate.
         candidates_evaluated: usize,
         /// `(PP, TP, DP)` backbone shapes rejected by the HBM gate.
         memory_rejected: usize,

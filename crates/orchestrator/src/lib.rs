@@ -18,9 +18,12 @@
 //!    against brute force), our stand-in for the CVX call;
 //! 5. [`orchestrate::Orchestrator`] — the user-facing planner, built via
 //!    [`orchestrate::OrchestratorBuilder`]; the search is memoized through
-//!    [`cache::PerfCache`] and (by default) sharded across a scoped worker
-//!    pool, with a bit-identical [`orchestrate::SearchMode::Serial`]
-//!    reference path;
+//!    [`cache::PerfCache`] and (by default) runs as a branch-and-bound over
+//!    the (TP, DP) lattice with monotone dominance cuts and analytic lower
+//!    bounds ([`orchestrate::SearchMode::Pruned`]), bit-identical to the
+//!    exhaustive [`orchestrate::SearchMode::Serial`] reference path;
+//!    [`orchestrate::WarmStart`] carries cost tables and incumbent seeds
+//!    across elastic replans;
 //! 6. [`baselines`] — Megatron-LM's monolithic plan (§2.1) and DistMM*'s
 //!    FLOPs-proportional plan (§7.2), the two comparison points of the
 //!    evaluation.
@@ -40,6 +43,8 @@ pub mod solve;
 
 pub use cache::PerfCache;
 pub use error::PlanError;
-pub use orchestrate::{Orchestrator, OrchestratorBuilder, PlanReport, SearchMode, DEFAULT_TOP_K};
+pub use orchestrate::{
+    Orchestrator, OrchestratorBuilder, PlanReport, SearchMode, WarmStart, DEFAULT_TOP_K,
+};
 pub use perf::PerfModel;
 pub use profiler::{ModuleProfile, Profiler, TaskProfile, TrainCost};

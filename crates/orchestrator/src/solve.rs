@@ -15,8 +15,8 @@
 //! CVX \[3\] plays in the real system. Tests validate the search against
 //! brute force over the entire lattice.
 
-use crate::formulate::{objective, Candidate, Objective, ProblemSpec};
-use crate::profiler::TrainCost;
+use crate::formulate::{microbatches, objective, Candidate, Objective, ProblemSpec};
+use crate::profiler::{TrainCost, TRIAL_TPS};
 use dt_model::ModuleKind;
 
 /// Outcome of one inner solve.
@@ -184,6 +184,113 @@ pub fn solve_inner_brute<C: TrainCost + ?Sized>(
     best
 }
 
+/// The smallest `TP·C(TP)` over the trial grid for `module` — the
+/// irreducible numerator of that module's `1/x` (or `1/z`) objective terms,
+/// minimized over the TP choices the search will actually try. Feeds
+/// [`node_lower_bound`], which must hold for *every* `(TP_me, TP_mg)`
+/// combination under a node.
+///
+/// Only meaningful for nonnegative finite cost tables (see
+/// [`crate::cache::PerfCache::bounds_sound`]); a negative cost would make
+/// the bound algebra (square roots, monotonicity) unsound.
+pub fn min_tp_work<C: TrainCost + ?Sized>(costs: &C, module: ModuleKind) -> f64 {
+    TRIAL_TPS.iter().map(|&tp| tp as f64 * costs.train_cost(module, tp)).fold(f64::INFINITY, f64::min)
+}
+
+/// Shared algebra of the §4.3 lower bounds, for a fixed backbone point
+/// `(tp_lm, dp_lm, y)` and encoder/generator work numerators `a`/`b`
+/// (premultiplied by `DP_lm·M`). Over the simplex `x + z ≤ R`,
+/// `x ≥ x_min`, `z ≥ z_min`:
+///
+/// * warm-up: `a/x + b/z ≥ (√a + √b)²/R` (Cauchy–Schwarz at `x + z = R`,
+///   the §4.3 convex optimum of the warm-up's separable part);
+/// * steady: `max(a/x, b/z) ≥ max(a/(R−z_min), b/(R−x_min), (a+b)/R)`
+///   (each GPU count is capped by the other module's floor, and the max
+///   dominates the budget-weighted mean).
+///
+/// Both phases are bounded independently, so their sum lower-bounds the
+/// minimum of the sum — every objective [`solve_inner`] (and any
+/// [`trim_allocation`], which only ever shrinks `x`/`z` and therefore only
+/// grows the objective) can produce at this point is ≥ the returned value.
+#[allow(clippy::too_many_arguments)]
+fn phase_lower_bound(
+    spec: &ProblemSpec,
+    tp_lm: u32,
+    dp_lm: u32,
+    y: u32,
+    c_lm: f64,
+    a: f64,
+    b: f64,
+    x_min: u32,
+    z_min: u32,
+    n_mb: u32,
+) -> f64 {
+    let m = spec.microbatch as f64;
+    let dp = dp_lm as f64;
+    let r = (spec.total_gpus - y) as f64;
+    let pp = y as f64 / (tp_lm as f64 * dp);
+    let hop_penalty = 2.0 * spec.pp_hop_secs * (pp + 2.0);
+    let warmup = (m * c_lm + (a.sqrt() + b.sqrt()).powi(2) / r) / spec.vpp.max(1) as f64
+        + hop_penalty;
+    let t_lm = dp * tp_lm as f64 * m * c_lm / y as f64;
+    let bottleneck = t_lm.max(a / (r - z_min as f64)).max(b / (r - x_min as f64)).max((a + b) / r);
+    warmup + bottleneck * (n_mb as f64 - 1.0).max(0.0)
+}
+
+/// Lower bound on the objective of *any* feasible allocation for `cand` at
+/// backbone size `y` — the branch-and-bound combo cut. `None` means the
+/// point is **provably empty**: no `(x, z)` allocation exists (budget
+/// short of `TP_me + TP_mg`) or the batch does not divide, exactly the
+/// cases where [`solve_inner`] returns `None` for every allocation.
+pub fn combo_lower_bound<C: TrainCost + ?Sized>(
+    spec: &ProblemSpec,
+    costs: &C,
+    cand: &Candidate,
+    y: u32,
+) -> Option<f64> {
+    let remainder = spec.total_gpus.checked_sub(y)?;
+    if remainder < cand.tp_me + cand.tp_mg {
+        return None;
+    }
+    let n_mb = microbatches(spec, cand.dp_lm)?;
+    let m = spec.microbatch as f64;
+    let dp = cand.dp_lm as f64;
+    let c_lm = costs.train_cost(ModuleKind::Backbone, cand.tp_lm);
+    let a = dp * m * cand.tp_me as f64 * costs.train_cost(ModuleKind::Encoder, cand.tp_me);
+    let b = dp * m * cand.tp_mg as f64 * costs.train_cost(ModuleKind::Generator, cand.tp_mg);
+    Some(phase_lower_bound(spec, cand.tp_lm, cand.dp_lm, y, c_lm, a, b, cand.tp_me, cand.tp_mg, n_mb))
+}
+
+/// Lower bound over **all 16** `(TP_me, TP_mg)` combinations of a backbone
+/// lattice node `(tp_lm, dp_lm, y)` — the branch-and-bound node cut.
+/// `enc_min`/`gen_min` are [`min_tp_work`] of the encoder/generator, so
+/// the per-combo numerators are replaced by their minima over the TP grid
+/// (and the `R − TP` denominators by the full remainder). `None` means the
+/// node is provably empty: the remainder cannot host even a `TP=1`
+/// encoder+generator, or the batch does not divide at this `DP_lm`.
+pub fn node_lower_bound(
+    spec: &ProblemSpec,
+    tp_lm: u32,
+    dp_lm: u32,
+    y: u32,
+    c_lm: f64,
+    enc_min: f64,
+    gen_min: f64,
+) -> Option<f64> {
+    let remainder = spec.total_gpus.checked_sub(y)?;
+    if remainder < 2 {
+        return None;
+    }
+    let n_mb = microbatches(spec, dp_lm)?;
+    let m = spec.microbatch as f64;
+    let dp = dp_lm as f64;
+    let a = dp * m * enc_min;
+    let b = dp * m * gen_min;
+    // x_min = z_min = 0 relaxes the per-combo floors (each combo's true
+    // floor is its TP choice, which varies across the 16 combos).
+    Some(phase_lower_bound(spec, tp_lm, dp_lm, y, c_lm, a, b, 0, 0, n_mb))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +360,88 @@ mod tests {
         let p = profile(0.6, 9.0, 1.2);
         let cand = Candidate { tp_lm: 8, dp_lm: 1, tp_me: 8, tp_mg: 8 };
         assert!(solve_inner(&s, &p, &cand, 8).is_none());
+    }
+
+    /// The branch-and-bound cuts are sound: for random cost mixes,
+    /// candidates, and backbone sizes, the combo bound never exceeds any
+    /// feasible allocation's objective (trimmed variants included), and
+    /// the node bound never exceeds any combo bound under it.
+    #[test]
+    fn lower_bounds_never_exceed_any_feasible_objective() {
+        let tps = [1u32, 2, 4, 8];
+        for seed in 0u64..300 {
+            let mut rng = DetRng::new(seed);
+            let p = profile(
+                rng.range_f64(0.05, 3.0),
+                rng.range_f64(1.0, 20.0),
+                rng.range_f64(0.05, 5.0),
+            );
+            let mut s = spec([24u32, 40, 96, 128][rng.range_usize(0, 4)], 128);
+            s.microbatch = [1u32, 2][rng.range_usize(0, 2)];
+            s.vpp = [1u32, 2][rng.range_usize(0, 2)];
+            s.pp_hop_secs = [0.0, 0.02][rng.range_usize(0, 2)];
+            let tp_lm = tps[rng.range_usize(0, 4)];
+            let dp_lm = [1u32, 2, 4, 8, 16][rng.range_usize(0, 5)];
+            let pp = [1u32, 2, 4][rng.range_usize(0, 3)];
+            let y = tp_lm * dp_lm * pp;
+            if y + 2 > s.total_gpus {
+                continue;
+            }
+            let enc_min = min_tp_work(&p, ModuleKind::Encoder);
+            let gen_min = min_tp_work(&p, ModuleKind::Generator);
+            let c_lm = p.train_cost(ModuleKind::Backbone, tp_lm);
+            let node_lb = node_lower_bound(&s, tp_lm, dp_lm, y, c_lm, enc_min, gen_min);
+            for tp_me in tps {
+                for tp_mg in tps {
+                    let cand = Candidate { tp_lm, dp_lm, tp_me, tp_mg };
+                    let combo_lb = combo_lower_bound(&s, &p, &cand, y);
+                    // Exhaust every feasible (x, z) on the lattice.
+                    let remainder = s.total_gpus - y;
+                    let mut any = false;
+                    let mut x = tp_me;
+                    while x + tp_mg <= remainder {
+                        for z_mult in 1..=(remainder - x) / tp_mg {
+                            let z = z_mult * tp_mg;
+                            if let Some(obj) = objective(&s, &p, &cand, x, y, z) {
+                                any = true;
+                                let lb = combo_lb.expect("feasible point but combo bound None");
+                                assert!(
+                                    lb <= obj.total() * (1.0 + 1e-9),
+                                    "seed {seed} {cand:?} y={y} x={x} z={z}: \
+                                     combo bound {lb} above objective {}",
+                                    obj.total()
+                                );
+                                let nlb = node_lb.expect("feasible point but node bound None");
+                                assert!(
+                                    nlb <= obj.total() * (1.0 + 1e-9),
+                                    "seed {seed} {cand:?} y={y}: node bound {nlb} above {}",
+                                    obj.total()
+                                );
+                            }
+                        }
+                        x += tp_me;
+                    }
+                    // `None` must mean provably empty — and vice versa the
+                    // solver must find something when the bound is finite.
+                    assert_eq!(
+                        combo_lb.is_some(),
+                        any,
+                        "seed {seed} {cand:?} y={y}: bound feasibility disagrees with the lattice"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_tp_work_is_the_grid_minimum() {
+        let p = profile(0.6, 9.0, 1.2);
+        let by_hand = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&tp| tp as f64 * p.train_cost(ModuleKind::Encoder, tp))
+            .fold(f64::INFINITY, f64::min)
+            .to_bits();
+        assert_eq!(min_tp_work(&p, ModuleKind::Encoder).to_bits(), by_hand);
     }
 
     /// The fast solver is never more than 2% worse than brute force,

@@ -59,6 +59,42 @@ fn main() {
         show(&task, &format!("generate at {res}x{res}"));
     }
 
+    println!("\n== warm-start replanning as the cluster shrinks (MLLM-9B) ==");
+    // The elastic path: plan once at job start, capture the warm-start
+    // state (profile + cost tables + the incumbent plan), then replay it
+    // at every failure. Each warm replan seeds the branch-and-bound
+    // search with the previous plan and reuses the job-start cost tables,
+    // yet returns exactly the plan a from-scratch (cold) replan would.
+    let mut task = TrainingTask::ablation(MllmPreset::Mllm9B.build(), 128);
+    task.cluster = ClusterSpec::production(12);
+    match task.plan(SystemKind::DistTrain) {
+        Ok(mut plan) => {
+            let mut ctx = task.replan_context(); // built once, at job start
+            println!("{:<34} starts on {} GPUs", "12-node job", plan.total_gpus());
+            for lost_nodes in [1u32, 2, 4] {
+                match task.shrunk(lost_nodes) {
+                    Some(shrunk) => match shrunk.replan_shrunk_warm(&plan, &mut ctx) {
+                        Ok(next) => {
+                            println!(
+                                "{:<34} bb TP{} DP{} PP{} | total {:>3}/{}",
+                                format!("lose {lost_nodes} node(s), warm replan"),
+                                next.backbone.tp,
+                                next.backbone.dp,
+                                next.backbone.pp,
+                                next.total_gpus(),
+                                shrunk.cluster.total_gpus(),
+                            );
+                            plan = next;
+                        }
+                        Err(e) => println!("replan failed: {e}"),
+                    },
+                    None => println!("cannot lose {lost_nodes} more node(s)"),
+                }
+            }
+        }
+        Err(e) => println!("initial plan failed: {e}"),
+    }
+
     println!("\n== infeasible tasks diagnose themselves ==");
     let mut tiny = TrainingTask::ablation(MllmPreset::Mllm72B.build(), 8);
     tiny.cluster = ClusterSpec::production(1);

@@ -7,6 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+VERIFY_TMP="$(mktemp -d)"
+trap 'rm -rf "$VERIFY_TMP"' EXIT
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
@@ -16,7 +19,28 @@ cargo build --release --workspace
 echo "==> repro check --seeds 200 (property-check & differential-oracle suite)"
 # Deterministic: any failure prints a one-line reproducer
 # (repro check --prop <name> --seed <s> --size <k>) that replays the case.
-./target/release/repro check --seeds 200
+./target/release/repro check --seeds 200 | tee "$VERIFY_TMP/check.log"
+
+# Cross-toolchain determinism gate: the check transcript — property names,
+# case counts, verdicts — must hash identically on every machine and
+# toolchain (the suite is seeded and std-only; only the "(N ms)" timing
+# suffixes are host-dependent, so they are normalized away). A drift here
+# means a kernel or generator changed behaviour; if intentional, refresh
+# the recorded hash by deleting scripts/check_transcript.sha256 and
+# re-running this script.
+NORM_HASH="$(sed -E 's/\([0-9]+ ms\)//g' "$VERIFY_TMP/check.log" | sha256sum | cut -d' ' -f1)"
+HASH_FILE="scripts/check_transcript.sha256"
+if [ -f "$HASH_FILE" ]; then
+    RECORDED="$(cat "$HASH_FILE")"
+    if [ "$NORM_HASH" != "$RECORDED" ]; then
+        echo "check transcript hash drifted: $NORM_HASH != recorded $RECORDED" >&2
+        exit 1
+    fi
+    echo "    check transcript hash matches the recorded $RECORDED"
+else
+    echo "$NORM_HASH" > "$HASH_FILE"
+    echo "    recorded new check transcript hash $NORM_HASH in $HASH_FILE"
+fi
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
@@ -27,23 +51,29 @@ cargo test --doc --workspace -q
 echo "==> RUSTDOCFLAGS=\"-D warnings\" cargo doc --no-deps --workspace"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> bench_orchestrator smoke (BENCH_solver.json + serial-vs-parallel gate)"
-# The bench itself fails (exit != 0) if the parallel search is slower than
-# the serial reference at the 96-GPU point on a multi-worker host. Cargo
-# runs benches from the package dir, so pin the output to the repo root.
+echo "==> bench_orchestrator smoke (BENCH_solver.json + pruned-search gates)"
+# The bench itself fails (exit != 0) if the branch-and-bound pruned search
+# is slower than the exhaustive serial reference at the 96-GPU point (or
+# the parallel search is, on a multi-worker host), or if any pruned run
+# loses its optimality certificate. Cargo runs benches from the package
+# dir, so pin the output to the repo root.
 DT_BENCH_ITERS="${DT_BENCH_ITERS:-3}" DT_BENCH_SOLVER_JSON="$PWD/BENCH_solver.json" \
     cargo bench -p dt-bench --bench bench_orchestrator --quiet
 test -s BENCH_solver.json || { echo "BENCH_solver.json missing or empty" >&2; exit 1; }
+grep -q '"proven_optimal":true' BENCH_solver.json \
+    || { echo "no proven_optimal certificate in BENCH_solver.json" >&2; exit 1; }
+if grep -q '"proven_optimal":false' BENCH_solver.json; then
+    echo "a pruned search lost its optimality certificate (proven_optimal:false)" >&2
+    exit 1
+fi
 
 echo "==> repro --metrics smoke (Prometheus exposition + JSON archive)"
-METRICS_TMP="$(mktemp -d)"
-trap 'rm -rf "$METRICS_TMP"' EXIT
-./target/release/repro zoo --metrics "$METRICS_TMP/metrics.prom" > /dev/null
-test -s "$METRICS_TMP/metrics.prom" || { echo "metrics.prom missing or empty" >&2; exit 1; }
-grep -q '^# TYPE dt_runtime_iter_time_seconds summary$' "$METRICS_TMP/metrics.prom" \
+./target/release/repro zoo --metrics "$VERIFY_TMP/metrics.prom" > /dev/null
+test -s "$VERIFY_TMP/metrics.prom" || { echo "metrics.prom missing or empty" >&2; exit 1; }
+grep -q '^# TYPE dt_runtime_iter_time_seconds summary$' "$VERIFY_TMP/metrics.prom" \
     || { echo "runtime family missing from Prometheus exposition" >&2; exit 1; }
-grep -q '^dt_preprocess_batches_total ' "$METRICS_TMP/metrics.prom" \
+grep -q '^dt_preprocess_batches_total ' "$VERIFY_TMP/metrics.prom" \
     || { echo "preprocess family missing from Prometheus exposition" >&2; exit 1; }
-test -s "$METRICS_TMP/metrics.prom.json" || { echo "metrics JSON archive missing or empty" >&2; exit 1; }
+test -s "$VERIFY_TMP/metrics.prom.json" || { echo "metrics JSON archive missing or empty" >&2; exit 1; }
 
 echo "==> all checks passed"

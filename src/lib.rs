@@ -107,13 +107,13 @@ pub use dt_telemetry as telemetry;
 pub mod prelude {
     pub use crate::cluster::{ClusterSpec, CollectiveCost, GpuSpec, NodeSpec};
     pub use crate::core::{
-        RuntimeConfig, SystemKind, TrainingReport, TrainingSystem, TrainingTask,
+        ReplanContext, RuntimeConfig, SystemKind, TrainingReport, TrainingSystem, TrainingTask,
     };
     pub use crate::data::{DataConfig, SyntheticLaion};
     pub use crate::model::{FreezeConfig, MllmPreset, ModuleKind, MultimodalLlm};
     pub use crate::orchestrator::{
         Orchestrator, OrchestratorBuilder, PerfModel, PlanError, PlanReport, Profiler,
-        SearchMode, TaskProfile,
+        SearchMode, TaskProfile, WarmStart,
     };
     pub use crate::parallel::{ModulePlan, OrchestrationPlan};
     pub use crate::simengine::{DetRng, SimDuration, SimTime};

@@ -1,7 +1,8 @@
 //! The redesigned planner API, end to end through the facade: the
 //! parallel search is bit-identical to the serial reference across a
-//! seeded sweep of problem specs, and every failure mode diagnoses
-//! itself with the right [`PlanError`] variant.
+//! seeded sweep of problem specs, the default branch-and-bound search
+//! accounts for its pruning and certifies optimality, and every failure
+//! mode diagnoses itself with the right [`PlanError`] variant.
 
 use disttrain::orchestrator::formulate::ProblemSpec;
 use disttrain::prelude::*;
@@ -162,4 +163,41 @@ fn plan_report_exposes_the_search_diagnostics() {
     assert!(report.cache_hits > report.candidates_evaluated as u64);
     assert_eq!(report.shard_wall_times.len(), 3, "one wall time per forced worker");
     assert!(report.solve_wall_time.as_secs_f64() > 0.0);
+    // The exhaustive modes expand every gate-passing node and prune none;
+    // they still carry the optimality certificate (they looked at
+    // everything).
+    assert!(report.nodes_expanded > 0);
+    assert_eq!(report.nodes_pruned, 0, "exhaustive modes never prune");
+    assert!(report.proven_optimal);
+}
+
+#[test]
+fn pruned_report_accounts_for_its_branch_and_bound_work() {
+    let model = MllmPreset::Mllm9B.build();
+    let profile = profile_for(&model, 12, 17);
+    let solve = |mode: SearchMode| {
+        Orchestrator::builder()
+            .total_gpus(96)
+            .global_batch(128)
+            .search_mode(mode)
+            .build()
+            .unwrap()
+            .plan_with_profile(&model, &profile)
+            .unwrap()
+    };
+    let pruned = solve(SearchMode::Pruned);
+    let serial = solve(SearchMode::Serial);
+    assert_eq!(pruned.search_mode, SearchMode::Pruned);
+    assert_eq!(pruned.plan, serial.plan, "pruning must not change the plan");
+    assert!(pruned.proven_optimal, "the default search certifies optimality");
+    assert!(pruned.nodes_pruned > 0, "this lattice has dominated regions to cut");
+    assert!(
+        pruned.candidates_evaluated < serial.candidates_evaluated,
+        "branch-and-bound must solve strictly fewer lattice points ({} vs {})",
+        pruned.candidates_evaluated,
+        serial.candidates_evaluated,
+    );
+    // One wall-time entry: the pruned search is single-threaded by design
+    // (the exhaustive traversal is memoization-bound, not compute-bound).
+    assert_eq!(pruned.shard_wall_times.len(), 1);
 }
