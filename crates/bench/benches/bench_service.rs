@@ -1,0 +1,290 @@
+//! Service-level load generator for the dt-serve planning daemon: one
+//! daemon, a sweep of client concurrency levels, and a deliberate
+//! overload probe. Each client thread drives the real [`dt_serve::Client`]
+//! (retry + seeded backoff) over real sockets with a deterministic
+//! request mix — plan (cold then warm), degraded replan, and simulate —
+//! so the numbers cover the whole stack: frame codec, admission control,
+//! worker pool, and the cross-request warm-plan store.
+//!
+//! Emits `BENCH_service.json` (override with `DT_BENCH_SERVICE_JSON`)
+//! with per-level req/s and p50/p99/max latency, the warm-vs-cold store
+//! ratio, rejection counters scraped from the live `/metrics` endpoint,
+//! and the overload probe's rejection rate. `DT_BENCH_SERVICE_REQS`
+//! scales the per-client request count for longer runs. Gates, applied
+//! after the JSON is written so a failed run still leaves the evidence:
+//! every admitted request must complete, the warm-hit ratio must be
+//! positive (repeat traffic actually skips profiling), the metrics
+//! scrape must expose the serve counters, and the overload probe must
+//! observe at least one typed `Overloaded` rejection alongside at least
+//! one success.
+
+use dt_serve::api::{ServeReply, ServeRequest, SpecDesc};
+use dt_serve::client::{fetch_metrics, Client, RetryPolicy};
+use dt_serve::daemon::{ServeConfig, ServeHandle};
+use dt_simengine::Json;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// The deterministic request mix, indexed by the client's request
+/// counter: a cold/warm plan pair on the primary fingerprint, a second
+/// fingerprint (so the store holds >1 entry), a degraded replan, and a
+/// short simulation.
+fn request_for(slot: u32) -> ServeRequest {
+    let primary = SpecDesc::ablation("mllm-9b", 128);
+    match slot % 5 {
+        0 | 1 => ServeRequest::Plan { spec: primary, budget: 2, deadline_ms: 0 },
+        2 => ServeRequest::Plan {
+            spec: SpecDesc::ablation("mllm-15b", 64),
+            budget: 2,
+            deadline_ms: 0,
+        },
+        3 => ServeRequest::Replan {
+            spec: primary,
+            remaining_gpus: 64,
+            budget: 2,
+            deadline_ms: 0,
+        },
+        _ => ServeRequest::Simulate { spec: primary, iterations: 2, deadline_ms: 0 },
+    }
+}
+
+/// Percentile over an already-sorted latency vector (nearest-rank on the
+/// inclusive [0, n-1] index line).
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Sum every sample of a Prometheus counter family (all label sets) from
+/// exposition text.
+fn metric_total(text: &str, name: &str) -> f64 {
+    text.lines()
+        .filter(|l| {
+            l.strip_prefix(name).is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .filter_map(|l| l.rsplit(' ').next().and_then(|v| v.parse::<f64>().ok()))
+        .sum()
+}
+
+struct LevelResult {
+    concurrency: u32,
+    issued: u32,
+    completed: u32,
+    failed: u32,
+    wall: Duration,
+    latencies_ms: Vec<f64>,
+}
+
+/// Drive `concurrency` client threads, each issuing `reqs` requests
+/// through the retrying client library against one shared daemon.
+fn run_level(addr: std::net::SocketAddr, concurrency: u32, reqs: u32) -> LevelResult {
+    let barrier = Arc::new(Barrier::new(concurrency as usize));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..concurrency)
+        .map(|c| {
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: Duration::from_millis(5),
+                    max_backoff: Duration::from_millis(50),
+                    seed: u64::from(concurrency) * 100 + u64::from(c),
+                };
+                let mut client = Client::with_policy(addr, policy);
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(reqs as usize);
+                let mut ok = 0u32;
+                let mut failed = 0u32;
+                for i in 0..reqs {
+                    let t = Instant::now();
+                    match client.request(&request_for(c * reqs + i)) {
+                        Ok(ServeReply::Plan(_) | ServeReply::Sim(_)) => {
+                            ok += 1;
+                            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        }
+                        _ => failed += 1,
+                    }
+                }
+                (ok, failed, latencies)
+            })
+        })
+        .collect();
+    let mut completed = 0;
+    let mut failed = 0;
+    let mut latencies_ms = Vec::new();
+    for h in handles {
+        let (ok, fail, lat) = h.join().expect("client thread");
+        completed += ok;
+        failed += fail;
+        latencies_ms.extend(lat);
+    }
+    let wall = started.elapsed();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    LevelResult { concurrency, issued: concurrency * reqs, completed, failed, wall, latencies_ms }
+}
+
+/// Saturate a deliberately tiny daemon (one slow worker, queue depth 1)
+/// with simultaneous one-shot clients and count typed `Overloaded`
+/// rejections: the admission-control path under real contention.
+fn overload_probe() -> (u32, u32, u32) {
+    let clients = 8u32;
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        worker_delay: Some(Duration::from_millis(300)),
+        ..ServeConfig::default()
+    };
+    let daemon = ServeHandle::spawn(cfg).expect("spawn overload daemon");
+    let addr = daemon.addr;
+    let barrier = Arc::new(Barrier::new(clients as usize));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                // One attempt, no retry: we want to *see* the rejection,
+                // not paper over it.
+                let policy = RetryPolicy { max_attempts: 1, ..RetryPolicy::default() };
+                let mut client = Client::with_policy(addr, policy);
+                barrier.wait();
+                let req = ServeRequest::Plan {
+                    spec: SpecDesc::ablation("mllm-9b", 128),
+                    budget: 1,
+                    deadline_ms: 0,
+                };
+                match client.request(&req) {
+                    Ok(_) => (1u32, 0u32),
+                    Err(_) => (0, 1),
+                }
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    let mut rejected = 0;
+    for h in handles {
+        let (o, r) = h.join().expect("probe thread");
+        ok += o;
+        rejected += r;
+    }
+    (clients, ok, rejected)
+}
+
+fn main() {
+    let reqs: u32 = std::env::var("DT_BENCH_SERVICE_REQS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let levels = [1u32, 2, 4];
+
+    let cfg = ServeConfig::default();
+    let (workers, queue_depth) = (cfg.workers, cfg.queue_depth);
+    let daemon = ServeHandle::spawn(cfg).expect("spawn daemon");
+    let addr = daemon.addr;
+
+    let mut level_json: Vec<Json> = Vec::new();
+    let mut results: Vec<LevelResult> = Vec::new();
+    for &concurrency in &levels {
+        let r = run_level(addr, concurrency, reqs);
+        let rate = f64::from(r.completed) / r.wall.as_secs_f64().max(1e-9);
+        println!(
+            "service/c{concurrency:<2} {completed}/{issued} ok   {rate:>8.2} req/s   \
+             p50 {p50:>8.2} ms   p99 {p99:>8.2} ms",
+            completed = r.completed,
+            issued = r.issued,
+            p50 = percentile_ms(&r.latencies_ms, 50.0),
+            p99 = percentile_ms(&r.latencies_ms, 99.0),
+        );
+        level_json.push(Json::obj(vec![
+            ("concurrency", Json::num_u64(u64::from(concurrency))),
+            ("issued", Json::num_u64(u64::from(r.issued))),
+            ("completed", Json::num_u64(u64::from(r.completed))),
+            ("failed", Json::num_u64(u64::from(r.failed))),
+            ("wall_secs", Json::Num(r.wall.as_secs_f64())),
+            ("req_per_sec", Json::Num(rate)),
+            ("p50_ms", Json::Num(percentile_ms(&r.latencies_ms, 50.0))),
+            ("p99_ms", Json::Num(percentile_ms(&r.latencies_ms, 99.0))),
+            ("max_ms", Json::Num(r.latencies_ms.last().copied().unwrap_or(0.0))),
+        ]));
+        results.push(r);
+    }
+
+    let (hits, misses) = daemon.store_stats();
+    let warm_ratio = hits as f64 / (hits + misses).max(1) as f64;
+    let metrics = fetch_metrics(addr).expect("scrape /metrics");
+    let served_total = metric_total(&metrics, "dt_serve_requests_total");
+    let rejected_total = metric_total(&metrics, "dt_serve_rejected_total");
+    drop(daemon); // drains before the probe daemon binds
+
+    let (probe_clients, probe_ok, probe_rejected) = overload_probe();
+    println!(
+        "service/overload_probe   {probe_ok} ok / {probe_rejected} rejected of {probe_clients}"
+    );
+
+    let out = Json::obj(vec![
+        ("bench", Json::Str("bench_service".into())),
+        ("workers", Json::num_u64(workers as u64)),
+        ("queue_depth", Json::num_u64(queue_depth as u64)),
+        ("requests_per_client", Json::num_u64(u64::from(reqs))),
+        ("levels", Json::Arr(level_json)),
+        (
+            "store",
+            Json::obj(vec![
+                ("hits", Json::num_u64(hits)),
+                ("misses", Json::num_u64(misses)),
+                ("warm_hit_ratio", Json::Num(warm_ratio)),
+            ]),
+        ),
+        (
+            "metrics",
+            Json::obj(vec![
+                ("requests_total", Json::Num(served_total)),
+                ("rejected_total", Json::Num(rejected_total)),
+            ]),
+        ),
+        (
+            "overload_probe",
+            Json::obj(vec![
+                ("clients", Json::num_u64(u64::from(probe_clients))),
+                ("queue_depth", Json::num_u64(1)),
+                ("ok", Json::num_u64(u64::from(probe_ok))),
+                ("rejected", Json::num_u64(u64::from(probe_rejected))),
+                (
+                    "rejection_rate",
+                    Json::Num(f64::from(probe_rejected) / f64::from(probe_clients)),
+                ),
+            ]),
+        ),
+    ]);
+    let path = std::env::var("DT_BENCH_SERVICE_JSON")
+        .unwrap_or_else(|_| "BENCH_service.json".to_string());
+    let mut text = String::new();
+    out.write(&mut text);
+    text.push('\n');
+    std::fs::write(&path, text).expect("write BENCH_service.json");
+    println!("wrote {path} (warm_hit_ratio={warm_ratio:.3})");
+
+    // Gates — after the JSON so a failed run still leaves the evidence.
+    for r in &results {
+        assert_eq!(
+            r.completed, r.issued,
+            "level c{}: {} of {} requests failed",
+            r.concurrency, r.failed, r.issued
+        );
+        assert!(
+            percentile_ms(&r.latencies_ms, 50.0) > 0.0,
+            "level c{}: zero p50 latency is not a measurement",
+            r.concurrency
+        );
+    }
+    assert!(hits > 0, "repeat traffic never hit the warm store");
+    assert!(warm_ratio > 0.0, "warm-vs-cold ratio must be positive");
+    assert!(served_total > 0.0, "metrics scrape shows no served requests");
+    assert!(
+        metrics.contains("dt_serve_store_hits_total"),
+        "metrics exposition is missing the store counters"
+    );
+    assert!(probe_rejected >= 1, "overload probe saw no Overloaded rejection");
+    assert!(probe_ok >= 1, "overload probe starved every client");
+}

@@ -12,6 +12,13 @@
 //! repro check --seeds 500         # deeper sweep
 //! repro check --prop wire.frames_round_trip            # one property
 //! repro check --prop NAME --seed 7 --size 3            # replay one case
+//! repro serve                     # planner daemon on an ephemeral port
+//! repro serve --addr 127.0.0.1:7411 --workers 4        # pinned address
+//! repro client --addr A plan --preset mllm-9b --nodes 12 --batch 128
+//! repro client --addr A replan --remaining 88 ...      # degraded replan
+//! repro client --addr A simulate --iters 1 ...         # plan + 1 iter sim
+//! repro client --addr A metrics                        # scrape /metrics
+//! repro client --addr A shutdown                       # graceful drain
 //! ```
 //!
 //! Flags may appear anywhere (before or after experiment names). An empty
@@ -170,10 +177,209 @@ fn run_check(raw: &[String]) -> ! {
     std::process::exit(if report.failed() { 1 } else { 0 });
 }
 
+/// `repro serve [--addr A] [--workers N] [--queue N]` — run the planner
+/// daemon until a wire shutdown request (or the process is killed).
+/// Never returns.
+fn run_serve(raw: &[String]) -> ! {
+    let mut cfg = dt_serve::ServeConfig::default();
+    let mut i = 0;
+    while i < raw.len() {
+        let flag = raw[i].as_str();
+        let Some(value) = raw.get(i + 1) else {
+            eprintln!("error: {flag} requires a value");
+            eprintln!("usage: repro serve [--addr HOST:PORT] [--workers N] [--queue N]");
+            std::process::exit(2);
+        };
+        let parsed: Result<(), String> = match flag {
+            "--addr" => {
+                cfg.addr = value.clone();
+                Ok(())
+            }
+            "--workers" => value.parse().map(|v| cfg.workers = v).map_err(|e| format!("{e}")),
+            "--queue" => value.parse().map(|v| cfg.queue_depth = v).map_err(|e| format!("{e}")),
+            other => {
+                eprintln!("error: unknown serve flag '{other}' (valid: --addr, --workers, --queue)");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: bad value '{value}' for {flag}: {e}");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+    let mut daemon = match dt_serve::ServeHandle::spawn(cfg) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("error: cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Machine-readable first line: scripts read the resolved ephemeral
+    // port from here.
+    println!("dt-serve listening on {}", daemon.addr);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    daemon.wait();
+    println!("dt-serve drained and stopped");
+    std::process::exit(0);
+}
+
+/// `repro client --addr A <verb> [flags]` — one daemon exchange.
+/// Never returns.
+fn run_client(raw: &[String]) -> ! {
+    use dt_serve::{Client, RetryPolicy, ServeReply, ServeRequest, SpecDesc};
+    let usage = "usage: repro client --addr HOST:PORT \
+                 (ping | metrics | shutdown | plan | replan | simulate) \
+                 [--preset P] [--nodes N] [--batch B] [--microbatch M] [--seed S] \
+                 [--budget K] [--deadline-ms D] [--remaining G] [--iters I] \
+                 [--retries R] [--backoff-ms B] [--jitter-seed J]";
+    let mut addr: Option<String> = None;
+    let mut verb: Option<String> = None;
+    let mut spec = SpecDesc::ablation("mllm-9b", 128);
+    let mut budget: u32 = 4;
+    let mut deadline_ms: u64 = 0;
+    let mut remaining: u32 = 0;
+    let mut iters: u32 = 1;
+    let mut policy = RetryPolicy::default();
+    let mut i = 0;
+    while i < raw.len() {
+        let arg = raw[i].as_str();
+        if !arg.starts_with('-') {
+            if verb.replace(arg.to_string()).is_some() {
+                eprintln!("error: more than one verb\n{usage}");
+                std::process::exit(2);
+            }
+            i += 1;
+            continue;
+        }
+        let Some(value) = raw.get(i + 1) else {
+            eprintln!("error: {arg} requires a value\n{usage}");
+            std::process::exit(2);
+        };
+        let parsed: Result<(), String> = match arg {
+            "--addr" => {
+                addr = Some(value.clone());
+                Ok(())
+            }
+            "--preset" => {
+                spec.preset = value.clone();
+                Ok(())
+            }
+            "--nodes" => value.parse().map(|v| spec.nodes = v).map_err(|e| format!("{e}")),
+            "--batch" => value.parse().map(|v| spec.global_batch = v).map_err(|e| format!("{e}")),
+            "--microbatch" => {
+                value.parse().map(|v| spec.microbatch = v).map_err(|e| format!("{e}"))
+            }
+            "--seed" => value.parse().map(|v| spec.seed = v).map_err(|e| format!("{e}")),
+            "--budget" => value.parse().map(|v| budget = v).map_err(|e| format!("{e}")),
+            "--deadline-ms" => value.parse().map(|v| deadline_ms = v).map_err(|e| format!("{e}")),
+            "--remaining" => value.parse().map(|v| remaining = v).map_err(|e| format!("{e}")),
+            "--iters" => value.parse().map(|v| iters = v).map_err(|e| format!("{e}")),
+            "--retries" => {
+                value.parse().map(|v| policy.max_attempts = v).map_err(|e| format!("{e}"))
+            }
+            "--backoff-ms" => value
+                .parse()
+                .map(|v: u64| policy.base_backoff = std::time::Duration::from_millis(v))
+                .map_err(|e| format!("{e}")),
+            "--jitter-seed" => value.parse().map(|v| policy.seed = v).map_err(|e| format!("{e}")),
+            other => {
+                eprintln!("error: unknown client flag '{other}'\n{usage}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: bad value '{value}' for {arg}: {e}");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+    let (Some(addr), Some(verb)) = (addr, verb) else {
+        eprintln!("error: client needs --addr and a verb\n{usage}");
+        std::process::exit(2);
+    };
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("error: bad --addr '{addr}': {e}");
+            std::process::exit(2);
+        }
+    };
+    if verb == "metrics" {
+        match dt_serve::fetch_metrics(addr) {
+            Ok(body) => {
+                print!("{body}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: metrics scrape failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let req = match verb.as_str() {
+        "ping" => ServeRequest::Ping,
+        "shutdown" => ServeRequest::Shutdown,
+        "plan" => ServeRequest::Plan { spec, budget, deadline_ms },
+        "replan" => {
+            if remaining == 0 {
+                eprintln!("error: replan needs --remaining GPUS\n{usage}");
+                std::process::exit(2);
+            }
+            ServeRequest::Replan { spec, remaining_gpus: remaining, budget, deadline_ms }
+        }
+        "simulate" => ServeRequest::Simulate { spec, iterations: iters, deadline_ms },
+        other => {
+            eprintln!("error: unknown verb '{other}'\n{usage}");
+            std::process::exit(2);
+        }
+    };
+    let mut client = Client::with_policy(addr, policy);
+    match client.request(&req) {
+        Ok(ServeReply::Pong) => println!("pong"),
+        Ok(ServeReply::Bye) => println!("bye (daemon draining)"),
+        Ok(ServeReply::Plan(p)) => {
+            println!(
+                "plan: total_gpus={} enc={}g(tp{}/dp{}/pp{}) bb={}g(tp{}/dp{}/pp{}) gen={}g(tp{}/dp{}/pp{})",
+                p.total_gpus,
+                p.encoder.gpus, p.encoder.tp, p.encoder.dp, p.encoder.pp,
+                p.backbone.gpus, p.backbone.tp, p.backbone.dp, p.backbone.pp,
+                p.generator.gpus, p.generator.tp, p.generator.dp, p.generator.pp,
+            );
+            println!(
+                "      predicted_iter_secs={:.4} proven_optimal={} warm={} cache_hits={} solve_ms={:.2}",
+                p.predicted_iter_secs, p.proven_optimal, p.warm, p.cache_hits, p.solve_ms
+            );
+        }
+        Ok(ServeReply::Sim(s)) => {
+            println!(
+                "simulated {} iteration(s): mean_iter_secs={:.4} mfu={:.3} samples_per_sec={:.2} (plan: {} GPUs, warm={})",
+                s.iterations, s.mean_iter_secs, s.mfu, s.samples_per_sec, s.plan.total_gpus, s.plan.warm
+            );
+        }
+        Ok(ServeReply::Err(e)) => {
+            eprintln!("error: daemon answered: {e}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("check") {
         run_check(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        run_serve(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("client") {
+        run_client(&raw[1..]);
     }
     let all = experiments::all();
 

@@ -95,7 +95,14 @@ const LB_SAFETY: f64 = 1.0 - 1e-6;
 /// validated plans *and* something was excluded, the window widens. The
 /// final `∞` round degenerates to the full exhaustive entry set, so the
 /// shortlist is always exactly the serial one.
-const WIDEN_FACTORS: [f64; 4] = [1.2, 6.0, 24.0, f64::INFINITY];
+/// The leading `1.02` round exists for small `top_k` (the deployment
+/// path plans `top_k(1)`): the §4 bounds are near-exact, so a 2% window
+/// usually holds the optimum's whole tie-cluster and nothing else —
+/// without it, the first round solves every entry within 20% of `T*`,
+/// which at small lattices is most of the near-optimal mass (the 96-GPU
+/// ablation point spent over half its solves there). An extra round
+/// costs only a memoized re-walk when it comes up short.
+const WIDEN_FACTORS: [f64; 5] = [1.02, 1.2, 6.0, 24.0, f64::INFINITY];
 
 /// How the TP×DP×PP lattice is traversed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -957,6 +964,12 @@ impl Orchestrator {
             })
         };
         let mut memo: Vec<Option<Option<[Allocation; 2]>>> = vec![None; nodes.len() * combos];
+        // Combo bounds are pure in (node, combo) too, and each one costs
+        // several cost-table lookups; pass 1 and every widening round of
+        // pass 2 probe the same slots, so they share one memo instead of
+        // re-deriving the bound per pass (the 96-GPU ablation point spends
+        // most of its non-solve time here — see BENCH_solver.json).
+        let mut clb_memo: Vec<Option<Option<f64>>> = vec![None; nodes.len() * combos];
 
         // --- Pass 1: best-first bounding to the exact optimum T*.
         // Deterministic expansion order: bound, then node index.
@@ -1002,6 +1015,7 @@ impl Orchestrator {
             }
         }
 
+        let mut combo_order: Vec<(f64, usize, usize)> = Vec::with_capacity(combos);
         for (rank, &i) in order.iter().enumerate() {
             let node = &nodes[i];
             if node.lb.unwrap() * LB_SAFETY >= incumbent {
@@ -1011,23 +1025,42 @@ impl Orchestrator {
                 break;
             }
             out.nodes_expanded += 1;
+            // Expand the node's combos cheapest-bound-first: its own best
+            // combo tightens the incumbent before the weaker fifteen are
+            // tested, and sorted order turns the incumbent test into a
+            // break. Incumbent pruning is sound in any order, so T* is
+            // unchanged — only `solves` shrinks.
+            combo_order.clear();
             for (me_idx, &tp_me) in TP_CHOICES.iter().enumerate() {
                 for (mg_idx, &tp_mg) in TP_CHOICES.iter().enumerate() {
                     let cand =
                         Candidate { tp_lm: node.tp_lm, dp_lm: node.dp_lm, tp_me, tp_mg };
-                    let Some(clb) = combo_lower_bound(spec, cache, &cand, node.y) else {
-                        continue; // provably no feasible allocation
-                    };
-                    if clb * LB_SAFETY >= incumbent {
-                        continue;
-                    }
-                    out.solves += 1;
                     let slot = i * combos + me_idx * TP_CHOICES.len() + mg_idx;
-                    let trimmed =
-                        *memo[slot].get_or_insert_with(|| solve_trimmed(&cand, node.y));
-                    for t in trimmed.iter().flatten() {
-                        incumbent = incumbent.min(t.objective.total());
+                    let clb = *clb_memo[slot]
+                        .get_or_insert_with(|| combo_lower_bound(spec, cache, &cand, node.y));
+                    if let Some(clb) = clb {
+                        combo_order.push((clb, me_idx, mg_idx));
                     }
+                }
+            }
+            combo_order
+                .sort_by(|a, b| a.0.total_cmp(&b.0).then((a.1, a.2).cmp(&(b.1, b.2))));
+            for &(clb, me_idx, mg_idx) in &combo_order {
+                if clb * LB_SAFETY >= incumbent {
+                    break;
+                }
+                let cand = Candidate {
+                    tp_lm: node.tp_lm,
+                    dp_lm: node.dp_lm,
+                    tp_me: TP_CHOICES[me_idx],
+                    tp_mg: TP_CHOICES[mg_idx],
+                };
+                out.solves += 1;
+                let slot = i * combos + me_idx * TP_CHOICES.len() + mg_idx;
+                let trimmed =
+                    *memo[slot].get_or_insert_with(|| solve_trimmed(&cand, node.y));
+                for t in trimmed.iter().flatten() {
+                    incumbent = incumbent.min(t.objective.total());
                 }
             }
         }
@@ -1059,14 +1092,16 @@ impl Orchestrator {
                         for (mg_idx, &tp_mg) in TP_CHOICES.iter().enumerate() {
                             let cand =
                                 Candidate { tp_lm: node.tp_lm, dp_lm: node.dp_lm, tp_me, tp_mg };
-                            let Some(clb) = combo_lower_bound(spec, cache, &cand, node.y) else {
+                            let slot = ni * combos + me_idx * TP_CHOICES.len() + mg_idx;
+                            let Some(clb) = *clb_memo[slot].get_or_insert_with(|| {
+                                combo_lower_bound(spec, cache, &cand, node.y)
+                            }) else {
                                 continue;
                             };
                             if clb * LB_SAFETY > t_cut {
                                 excluded = true;
                                 continue;
                             }
-                            let slot = ni * combos + me_idx * TP_CHOICES.len() + mg_idx;
                             if memo[slot].is_none() {
                                 out.solves += 1;
                             }
@@ -1427,3 +1462,4 @@ mod tests {
         assert_eq!(a.workers, b.workers);
     }
 }
+

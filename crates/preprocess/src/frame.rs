@@ -1,0 +1,152 @@
+//! The shared length-prefix frame codec.
+//!
+//! One implementation of the workspace's wire framing, used by both
+//! halves of the data plane (`crate::wire`, the §5.1 producer/consumer
+//! protocol) and by the `dt-serve` planner daemon's request/response
+//! protocol. Classic length-delimited framing, implemented synchronously:
+//! every frame is a 4-byte little-endian length followed by that many
+//! payload bytes. Control messages are JSON (small, debuggable); bulk
+//! byte payloads travel as separate raw frames so they are never
+//! base64-inflated.
+//!
+//! ```text
+//! frame: [u32 LE length][length payload bytes]
+//! ```
+//!
+//! The length header is *untrusted input* everywhere this codec is used
+//! (a hostile or corrupt peer can claim anything), so [`read_frame`]
+//! never allocates eagerly from the header: the payload buffer grows
+//! [`FRAME_READ_CHUNK`] at a time as bytes actually arrive, and a header
+//! above [`MAX_FRAME`] is rejected outright as protocol corruption.
+
+use dt_simengine::json::Json;
+use std::io::{self, Read, Write};
+
+/// Frames larger than this are rejected as protocol corruption.
+pub const MAX_FRAME: u32 = 1 << 30;
+
+/// How much payload [`read_frame`] buffers per read step — and therefore
+/// the most memory a corrupt length header can cost before the stream
+/// proves it actually carries that many bytes.
+pub const FRAME_READ_CHUNK: usize = 64 * 1024;
+
+/// Control messages that can travel as JSON frames.
+pub trait WireJson: Sized {
+    /// Encode into a JSON value.
+    fn to_json(&self) -> Json;
+    /// Decode from a JSON value.
+    fn from_json(value: &Json) -> Result<Self, String>;
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame.
+///
+/// The length header is untrusted input: a corrupt 4-byte prefix can
+/// claim anything up to [`MAX_FRAME`] (1 GiB), so the payload buffer is
+/// grown incrementally ([`FRAME_READ_CHUNK`] at a time) as bytes actually
+/// arrive, never allocated eagerly from the header. A truncated or
+/// corrupt stream errors with [`io::ErrorKind::UnexpectedEof`] after
+/// buffering at most the bytes it really sent (plus one chunk).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut head = [0u8; 4];
+    r.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    let len = len as usize;
+    let mut payload: Vec<u8> = Vec::with_capacity(len.min(FRAME_READ_CHUNK));
+    let mut filled = 0usize;
+    while filled < len {
+        let step = (len - filled).min(FRAME_READ_CHUNK);
+        payload.resize(filled + step, 0);
+        r.read_exact(&mut payload[filled..filled + step])?;
+        filled += step;
+    }
+    Ok(payload)
+}
+
+/// Write a JSON control message as one frame.
+pub fn write_json<T: WireJson>(w: &mut impl Write, msg: &T) -> io::Result<()> {
+    write_frame(w, msg.to_json().to_string().as_bytes())
+}
+
+/// Read a JSON control message from one frame.
+pub fn read_json<T: WireJson>(r: &mut impl Read) -> io::Result<T> {
+    let payload = read_frame(r)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let value =
+        Json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    T::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap(), vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn truncated_frame_errors_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut cur = Cursor::new(buf);
+        let err = read_frame(&mut cur).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Regression: a corrupt header claiming a huge frame over a stream
+    /// that then ends must error with `UnexpectedEof` — the old eager
+    /// `vec![0u8; len]` ballooned to the claimed size before reading a
+    /// single payload byte (the allocation bound itself is pinned by the
+    /// counting-allocator test in `tests/wire_alloc.rs`).
+    #[test]
+    fn corrupt_length_header_errors_cleanly() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAX_FRAME.to_le_bytes()); // claims 1 GiB
+        buf.extend_from_slice(&[7u8; 100]); // …but carries 100 bytes
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn multi_chunk_frame_round_trips() {
+        let payload: Vec<u8> = (0..3 * FRAME_READ_CHUNK + 17).map(|i| i as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), payload);
+    }
+}

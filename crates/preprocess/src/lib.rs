@@ -35,6 +35,7 @@
 
 pub mod codec;
 pub mod feeder;
+pub mod frame;
 pub mod reorder_planner;
 pub mod service;
 pub mod wire;

@@ -207,10 +207,12 @@ impl ProducerHandle {
             .spawn(move || {
                 let mut next_seed = cfg.seed;
                 let mut session = 0u64;
+                let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
                 for conn in listener.incoming() {
                     if stop2.load(Ordering::SeqCst) {
                         break;
                     }
+                    sessions.retain(|h| !h.is_finished());
                     match conn {
                         Ok(mut stream) => {
                             // One session thread per client; each client
@@ -223,15 +225,25 @@ impl ProducerHandle {
                             next_seed = next_seed.wrapping_add(0x9E37_79B9);
                             let sid = session;
                             session += 1;
-                            let _ = std::thread::Builder::new()
+                            let spawned = std::thread::Builder::new()
                                 .name("dt-preprocess-session".into())
                                 .spawn(move || {
                                     let mut gen = SyntheticLaion::new(cfg.data.clone(), seed);
                                     let _ = serve_client(&cfg, &mut gen, &mut stream, &stop, sid);
                                 });
+                            if let Ok(h) = spawned {
+                                sessions.push(h);
+                            }
                         }
                         Err(_) => break,
                     }
+                }
+                // Drain: sessions observe the stop flag (or their client's
+                // close) within one read-timeout window, and joining them
+                // here guarantees every telemetry/trace record for a batch
+                // that was fully written has landed before Drop returns.
+                for h in sessions {
+                    let _ = h.join();
                 }
             })?;
         Ok(ProducerHandle { addr, stop, join: Some(join) })

@@ -1,11 +1,12 @@
-//! Frame protocol between producer (CPU node) and consumer (GPU node).
+//! Wire protocol between producer (CPU node) and consumer (GPU node).
 //!
-//! Classic length-delimited framing (the Tokio framing chapter's first
-//! protocol, implemented synchronously — the feeder is a dedicated blocking
-//! prefetch thread, not an async reactor): every frame is a 4-byte
-//! little-endian length followed by that many payload bytes. Control
-//! messages are JSON (small, debuggable); bulk token bytes travel as a
-//! separate raw frame so they are never base64-inflated.
+//! The framing itself — 4-byte little-endian length prefix, chunked
+//! hostile-input-safe reads, JSON control messages — lives in
+//! [`crate::frame`], the codec this module shares with the `dt-serve`
+//! planner daemon (one implementation, two protocols). This module
+//! defines the preprocessing protocol's *messages*: the consumer's
+//! [`Request`]s and the producer's [`BatchHeader`] response (followed by
+//! one raw frame of concatenated token bytes, never base64-inflated).
 //!
 //! ```text
 //! request:  [len][json Request]
@@ -14,10 +15,12 @@
 
 use dt_data::TrainSample;
 use dt_simengine::json::Json;
-use std::io::{self, Read, Write};
 
-/// Frames larger than this are rejected as protocol corruption.
-pub const MAX_FRAME: u32 = 1 << 30;
+// Re-exported so existing callers (feeder, service, dt-check's hostile
+// generators) keep one import path for the whole protocol.
+pub use crate::frame::{
+    read_frame, read_json, write_frame, write_json, WireJson, FRAME_READ_CHUNK, MAX_FRAME,
+};
 
 /// Consumer → producer control messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,14 +45,6 @@ pub struct BatchHeader {
     /// Producer-side CPU time spent preprocessing this batch, nanoseconds
     /// (reported for the Figure 17 accounting).
     pub producer_cpu_ns: u64,
-}
-
-/// Control messages that can travel as JSON frames.
-pub trait WireJson: Sized {
-    /// Encode into a JSON value.
-    fn to_json(&self) -> Json;
-    /// Decode from a JSON value.
-    fn from_json(value: &Json) -> Result<Self, String>;
 }
 
 impl WireJson for Request {
@@ -137,81 +132,10 @@ impl WireJson for BatchHeader {
     }
 }
 
-/// Write one frame.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
-    if len > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
-    }
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// How much payload [`read_frame`] buffers per read step — and therefore
-/// the most memory a corrupt length header can cost before the stream
-/// proves it actually carries that many bytes.
-pub const FRAME_READ_CHUNK: usize = 64 * 1024;
-
-/// Read one frame.
-///
-/// The length header is untrusted input: a corrupt 4-byte prefix can
-/// claim anything up to [`MAX_FRAME`] (1 GiB), so the payload buffer is
-/// grown incrementally ([`FRAME_READ_CHUNK`] at a time) as bytes actually
-/// arrive, never allocated eagerly from the header. A truncated or
-/// corrupt stream errors with [`io::ErrorKind::UnexpectedEof`] after
-/// buffering at most the bytes it really sent (plus one chunk).
-pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
-    let mut head = [0u8; 4];
-    r.read_exact(&mut head)?;
-    let len = u32::from_le_bytes(head);
-    if len > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
-    }
-    let len = len as usize;
-    let mut payload: Vec<u8> = Vec::with_capacity(len.min(FRAME_READ_CHUNK));
-    let mut filled = 0usize;
-    while filled < len {
-        let step = (len - filled).min(FRAME_READ_CHUNK);
-        payload.resize(filled + step, 0);
-        r.read_exact(&mut payload[filled..filled + step])?;
-        filled += step;
-    }
-    Ok(payload)
-}
-
-/// Write a JSON control message as one frame.
-pub fn write_json<T: WireJson>(w: &mut impl Write, msg: &T) -> io::Result<()> {
-    write_frame(w, msg.to_json().to_string().as_bytes())
-}
-
-/// Read a JSON control message from one frame.
-pub fn read_json<T: WireJson>(r: &mut impl Read) -> io::Result<T> {
-    let payload = read_frame(r)?;
-    let text = std::str::from_utf8(&payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    let value =
-        Json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    T::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::Cursor;
-
-    #[test]
-    fn frames_round_trip() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        write_frame(&mut buf, b"").unwrap();
-        write_frame(&mut buf, &[7u8; 1000]).unwrap();
-        let mut cur = Cursor::new(buf);
-        assert_eq!(read_frame(&mut cur).unwrap(), b"hello");
-        assert_eq!(read_frame(&mut cur).unwrap(), b"");
-        assert_eq!(read_frame(&mut cur).unwrap(), vec![7u8; 1000]);
-    }
 
     #[test]
     fn json_messages_round_trip() {
@@ -246,52 +170,11 @@ mod tests {
     }
 
     #[test]
-    fn truncated_frame_errors_cleanly() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        buf.truncate(buf.len() - 2);
-        let mut cur = Cursor::new(buf);
-        assert!(read_frame(&mut cur).is_err());
-    }
-
-    #[test]
-    fn oversized_length_is_rejected() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
-        buf.extend_from_slice(&[0u8; 16]);
-        let mut cur = Cursor::new(buf);
-        let err = read_frame(&mut cur).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-    }
-
-    /// Regression: a corrupt header claiming a huge frame over a stream
-    /// that then ends must error with `UnexpectedEof` — the old eager
-    /// `vec![0u8; len]` ballooned to the claimed size before reading a
-    /// single payload byte (the allocation bound itself is pinned by the
-    /// counting-allocator test in `tests/wire_alloc.rs`).
-    #[test]
-    fn corrupt_length_header_errors_cleanly() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&MAX_FRAME.to_le_bytes()); // claims 1 GiB
-        buf.extend_from_slice(&[7u8; 100]); // …but carries 100 bytes
-        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
-    }
-
-    #[test]
-    fn multi_chunk_frame_round_trips() {
-        let payload: Vec<u8> = (0..3 * FRAME_READ_CHUNK + 17).map(|i| i as u8).collect();
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &payload).unwrap();
-        assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), payload);
-    }
-
-    #[test]
     fn garbage_json_is_invalid_data() {
         let mut buf = Vec::new();
         write_frame(&mut buf, b"not json").unwrap();
         let mut cur = Cursor::new(buf);
         let err = read_json::<Request>(&mut cur).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

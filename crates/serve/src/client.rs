@@ -1,0 +1,242 @@
+//! Client library: one request/reply exchange per call, with retry,
+//! deterministic exponential backoff, and deadline semantics.
+//!
+//! The retry loop distinguishes three failure classes:
+//!
+//! * **Retryable**: transport errors (connect refused/reset — the daemon
+//!   may be restarting) and typed [`ServeError::Overloaded`](crate::ServeError::Overloaded) rejections
+//!   (congestion, by design transient). These back off and retry.
+//! * **Terminal server answers**: every other [`ServeError`](crate::ServeError) — bad
+//!   request, malformed, plan failure, deadline — returned immediately as
+//!   [`ClientError::Server`]; retrying cannot help.
+//! * **Budget exhausted**: attempts or the client-side deadline ran out;
+//!   [`ClientError::Exhausted`] reports both the count and the last
+//!   failure.
+//!
+//! Backoff is *seeded*: jitter comes from a [`DetRng`] owned by the
+//! client, so a load test (or a unit test) can predict the exact sleep
+//! schedule. See [`RetryPolicy::backoff_schedule`] for the closed form.
+
+use crate::api::{ServeReply, ServeRequest};
+use dt_preprocess::frame::{read_json, write_json};
+use dt_simengine::DetRng;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Retry/backoff configuration.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Minimum 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (1-based) starts from
+    /// `base_backoff * 2^(k-1)`.
+    pub base_backoff: Duration,
+    /// Per-sleep upper bound.
+    pub max_backoff: Duration,
+    /// Jitter seed; equal seeds give equal schedules.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic sleep schedule this policy produces: entry `k`
+    /// is the backoff after failed attempt `k+1`. Exponential growth,
+    /// capped at [`RetryPolicy::max_backoff`], with multiplicative jitter
+    /// in `[0.5, 1.0)` drawn from the seeded [`DetRng`] — the same
+    /// decorrelation Optimus-style schedulers use so synchronized clients
+    /// do not re-stampede a recovering server.
+    pub fn backoff_schedule(&self) -> Vec<Duration> {
+        let mut rng = DetRng::new(self.seed);
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|k| self.nth_backoff(k, &mut rng))
+            .collect()
+    }
+
+    fn nth_backoff(&self, k: u32, rng: &mut DetRng) -> Duration {
+        let exp = self.base_backoff.as_secs_f64() * 2f64.powi(k.min(20) as i32);
+        let capped = exp.min(self.max_backoff.as_secs_f64());
+        Duration::from_secs_f64(capped * rng.range_f64(0.5, 1.0))
+    }
+}
+
+/// Typed client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The daemon answered with a terminal (non-retryable) error.
+    Server(crate::api::ServeError),
+    /// Attempts or the deadline ran out; `last` is the final failure.
+    Exhausted {
+        /// Attempts actually made.
+        attempts: u32,
+        /// Human-readable rendering of the last failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A planning client. One TCP connection per request (requests are rare
+/// and heavyweight relative to a localhost connect); reuse the struct,
+/// not the socket.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    /// Overall budget across all attempts of one [`Client::request`].
+    deadline: Option<Duration>,
+    rng: DetRng,
+}
+
+impl Client {
+    /// A client with default retry policy and no deadline.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// A client with an explicit policy.
+    pub fn with_policy(addr: SocketAddr, policy: RetryPolicy) -> Client {
+        let rng = DetRng::new(policy.seed);
+        Client { addr, policy, deadline: None, rng }
+    }
+
+    /// Bound the total wall time of each [`Client::request`] call
+    /// (connect + exchanges + backoffs). The remaining budget is also
+    /// used as the socket read timeout of each attempt.
+    pub fn with_deadline(mut self, deadline: Duration) -> Client {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Issue one request, retrying per the policy. Returns the daemon's
+    /// reply (which may itself be a *terminal* [`ServeReply::Err`] —
+    /// those are surfaced as [`ClientError::Server`]).
+    pub fn request(&mut self, req: &ServeRequest) -> Result<ServeReply, ClientError> {
+        let started = Instant::now();
+        let mut last = String::new();
+        let mut attempts = 0;
+        for k in 0..self.policy.max_attempts.max(1) {
+            attempts = k + 1;
+            match self.attempt(req, started) {
+                Ok(ServeReply::Err(e)) if e.retryable() => last = e.to_string(),
+                Ok(ServeReply::Err(e)) => return Err(ClientError::Server(e)),
+                Ok(reply) => return Ok(reply),
+                Err(e) => last = format!("io: {e}"),
+            }
+            // Budget the sleep against the deadline: sleeping past it
+            // would burn wall time with no attempt left to spend it on.
+            let backoff = self.policy.nth_backoff(k, &mut self.rng);
+            if let Some(deadline) = self.deadline {
+                if started.elapsed() + backoff >= deadline {
+                    break;
+                }
+            }
+            if k + 1 < self.policy.max_attempts {
+                std::thread::sleep(backoff);
+            }
+        }
+        Err(ClientError::Exhausted { attempts, last })
+    }
+
+    fn attempt(&self, req: &ServeRequest, started: Instant) -> io::Result<ServeReply> {
+        let remaining = match self.deadline {
+            Some(deadline) => deadline
+                .checked_sub(started.elapsed())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "client deadline spent"))?,
+            None => Duration::from_secs(3600),
+        };
+        let mut stream = TcpStream::connect_timeout(&self.addr, remaining)?;
+        stream.set_read_timeout(Some(remaining))?;
+        stream.set_write_timeout(Some(remaining))?;
+        write_json(&mut stream, req)?;
+        read_json::<ServeReply>(&mut stream)
+    }
+}
+
+/// Scrape the daemon's live Prometheus exposition: a plain
+/// `GET /metrics` against the same port planning traffic uses. Returns
+/// the response body.
+pub fn fetch_metrics(addr: SocketAddr) -> io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    use io::Write;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: dt-serve\r\n\r\n")?;
+    let mut response = String::new();
+    io::Read::read_to_string(&mut stream, &mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no HTTP body"))?;
+    if !head.starts_with("HTTP/1.0 200") {
+        let status = head.lines().next().unwrap_or("??");
+        return Err(io::Error::other(format!("scrape failed: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            seed: 99,
+        };
+        let a = policy.backoff_schedule();
+        let b = policy.backoff_schedule();
+        assert_eq!(a, b, "equal seeds give equal schedules");
+        assert_eq!(a.len(), 5);
+        for (k, d) in a.iter().enumerate() {
+            let uncapped = 0.010 * 2f64.powi(k as i32);
+            let cap = uncapped.min(0.200);
+            let secs = d.as_secs_f64();
+            assert!(secs >= cap * 0.5 - 1e-9 && secs < cap, "sleep {k} = {secs}s outside jitter window");
+        }
+        let other = RetryPolicy { seed: 100, ..policy };
+        assert_ne!(other.backoff_schedule(), a, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn connect_failures_exhaust_with_io_diagnosis() {
+        // A port nothing listens on: every attempt fails at connect.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            seed: 7,
+        };
+        let mut client = Client::with_policy(addr, policy);
+        match client.request(&ServeRequest::Ping) {
+            Err(ClientError::Exhausted { attempts, last }) => {
+                assert_eq!(attempts, 2);
+                assert!(last.starts_with("io: "), "unexpected last failure: {last}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! The planner daemon: accept loop, admission control, worker pool,
+//! graceful drain.
+//!
+//! Thread shape (all synchronous, like the preprocessing producer):
+//!
+//! ```text
+//! accept thread ──► session thread per connection
+//!                      │  admission: validate → try_send (bounded queue)
+//!                      ▼
+//!              sync_channel(queue_depth)  ──►  N worker threads
+//!                      ▲                          │ plan/replan/simulate
+//!                      └── per-job reply channel ◄┘
+//! ```
+//!
+//! Invariants the tests pin down:
+//!
+//! * **Bounded admission.** The job queue is a `sync_channel` of
+//!   configured depth; a full queue rejects with
+//!   [`ServeError::Overloaded`] *at admission time* — the daemon never
+//!   buffers unboundedly and a client learns about congestion
+//!   immediately.
+//! * **Deadlines are checked twice.** At admission (a request whose
+//!   deadline already lapsed is not queued) and at dequeue: a job that
+//!   spent its whole deadline waiting is answered with
+//!   [`ServeError::DeadlineExceeded`] without occupying a worker for the
+//!   actual search.
+//! * **Every admitted job is answered.** Session threads block on the
+//!   job's private reply channel, so a session cannot finish with a job
+//!   still queued — which is exactly what makes the drain argument work:
+//!   shutdown stops the accept loop, joins sessions (each finishes its
+//!   in-flight request), and only then do the workers see a disconnected
+//!   queue and exit.
+//! * **Hostile frames never panic.** A frame that is not a parseable
+//!   request gets a typed [`ServeError::Malformed`] reply and the
+//!   connection is closed (framing may be desynchronized after garbage).
+
+use crate::api::{ModuleSummary, PlanSummary, ServeError, ServeReply, ServeRequest, SimSummary, SpecDesc};
+use crate::http;
+use crate::store::{task_for, PlanStore};
+use disttrain_core::{SystemKind, TrainingTask};
+use dt_orchestrator::{Orchestrator, PlanReport, DEFAULT_TOP_K};
+use dt_parallel::plan::ModulePlan;
+use dt_preprocess::frame::{read_json, write_json};
+use dt_telemetry::{names, Telemetry};
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing searches/simulations.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Largest cluster a request may ask about (admission cap).
+    pub max_nodes: u32,
+    /// Largest per-request search budget (`top_k`) honoured; bigger asks
+    /// are clamped, not rejected.
+    pub max_budget: u32,
+    /// Most simulated iterations a single request may ask for.
+    pub max_iterations: u32,
+    /// Deadline applied when a request carries `deadline_ms == 0`.
+    /// `None` means such requests never expire in queue.
+    pub default_deadline: Option<Duration>,
+    /// Metrics sink (shared with the HTTP `/metrics` endpoint).
+    pub telemetry: Telemetry,
+    /// Test hook: extra busy-work per job, so overload tests can fill the
+    /// queue deterministically. `None` in production.
+    pub worker_delay: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 16,
+            max_nodes: 256,
+            max_budget: DEFAULT_TOP_K as u32,
+            max_iterations: 8,
+            default_deadline: None,
+            telemetry: Telemetry::enabled(),
+            worker_delay: None,
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    req: ServeRequest,
+    admitted: Instant,
+    deadline: Option<Duration>,
+    reply: mpsc::Sender<ServeReply>,
+}
+
+/// Shared daemon state.
+struct Shared {
+    store: PlanStore,
+    telemetry: Telemetry,
+    queue_len: AtomicI64,
+    stop: AtomicBool,
+    cfg: ServeConfig,
+    /// The bound address, for self-connects that unblock the accept loop.
+    addr: Mutex<Option<std::net::SocketAddr>>,
+}
+
+impl Shared {
+    /// Begin a drain: stop admitting and nudge the accept loop awake.
+    fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(addr) = *self.addr.lock().expect("addr lock") {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+impl Shared {
+    fn queue_gauge(&self, delta: i64) {
+        let now = self.queue_len.fetch_add(delta, Ordering::SeqCst) + delta;
+        self.telemetry.with(|r| r.gauge(names::SERVE_QUEUE_DEPTH, &[]).set(now as f64));
+    }
+}
+
+/// A running daemon. Dropping it (or calling [`ServeHandle::shutdown`])
+/// drains in-flight requests and joins every thread.
+pub struct ServeHandle {
+    /// The bound address (resolved ephemeral port).
+    pub addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// Bind and start serving.
+    pub fn spawn(cfg: ServeConfig) -> io::Result<ServeHandle> {
+        let listener = TcpListener::bind(
+            cfg.addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable addr"))?,
+        )?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store: PlanStore::new(),
+            telemetry: cfg.telemetry.clone(),
+            queue_len: AtomicI64::new(0),
+            stop: AtomicBool::new(false),
+            cfg: cfg.clone(),
+            addr: Mutex::new(Some(addr)),
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("dt-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let accept_shared = shared.clone();
+        let accept = std::thread::Builder::new().name("dt-serve-accept".into()).spawn(move || {
+            let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            for conn in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                sessions.retain(|h| !h.is_finished());
+                match conn {
+                    Ok(mut stream) => {
+                        let shared = accept_shared.clone();
+                        let tx = tx.clone();
+                        let spawned =
+                            std::thread::Builder::new().name("dt-serve-session".into()).spawn(
+                                move || {
+                                    let _ = serve_session(&mut stream, &shared, &tx);
+                                },
+                            );
+                        if let Ok(h) = spawned {
+                            sessions.push(h);
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Drain: every session finishes its in-flight request (workers
+            // are still running — they only exit once all job senders,
+            // including the per-session clones these joins release, are
+            // gone).
+            for h in sessions {
+                let _ = h.join();
+            }
+            drop(tx);
+        });
+
+        Ok(ServeHandle { addr, shared, accept: Some(accept?), workers })
+    }
+
+    /// Cross-request warm-store statistics `(hits, misses)`.
+    pub fn store_stats(&self) -> (u64, u64) {
+        (self.shared.store.hits(), self.shared.store.misses())
+    }
+
+    /// Whether a drain has started (via [`ServeHandle::shutdown`] or a
+    /// wire [`ServeRequest::Shutdown`]).
+    ///
+    /// [`ServeRequest::Shutdown`]: crate::api::ServeRequest::Shutdown
+    pub fn stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Block until a drain starts (e.g. a wire shutdown request), then
+    /// finish it: the `repro serve` foreground loop.
+    pub fn wait(&mut self) {
+        while !self.stopped() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        self.shutdown();
+    }
+
+    /// Stop accepting, drain in-flight requests, join every thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One client connection: requests until the peer closes, shutdown, or a
+/// malformed frame.
+fn serve_session(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    tx: &SyncSender<Job>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    loop {
+        // Poll the stop flag between requests; `peek` never consumes
+        // bytes, so the timeout cannot desynchronize framing.
+        let mut probe = [0u8; 4];
+        let peeked = match stream.peek(&mut probe) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        // The same port speaks Prometheus: an HTTP GET can never be a
+        // legitimate frame start here (it would claim a ~542 MB control
+        // message), so dispatch on the first four bytes.
+        if peeked == 4 && &probe == b"GET " {
+            return http::serve_http(stream, shared.telemetry.clone());
+        }
+        let req: ServeRequest = match read_json(stream) {
+            Ok(req) => req,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Typed reply, then close: after garbage the stream offset
+                // is untrustworthy.
+                record_rejection(&shared.telemetry, "malformed");
+                let reply =
+                    ServeReply::Err(ServeError::Malformed { reason: e.to_string() });
+                let _ = write_json(stream, &reply);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        if shared.stop.load(Ordering::SeqCst) && !matches!(req, ServeRequest::Shutdown) {
+            write_json(stream, &ServeReply::Err(ServeError::ShuttingDown))?;
+            return Ok(());
+        }
+        match admit(&req, shared, tx) {
+            Admitted::Inline(reply) => write_json(stream, &reply)?,
+            Admitted::Queued(reply_rx) => {
+                // Blocking here is what guarantees the drain invariant:
+                // this session cannot exit before its job is answered.
+                let reply = reply_rx
+                    .recv()
+                    .unwrap_or(ServeReply::Err(ServeError::ShuttingDown));
+                write_json(stream, &reply)?;
+            }
+        }
+    }
+}
+
+enum Admitted {
+    /// Answered without queueing (ping, rejection).
+    Inline(ServeReply),
+    /// Queued; the reply arrives on this channel.
+    Queued(mpsc::Receiver<ServeReply>),
+}
+
+/// Admission control: validate, stamp, and try to enqueue.
+fn admit(req: &ServeRequest, shared: &Shared, tx: &SyncSender<Job>) -> Admitted {
+    if matches!(req, ServeRequest::Ping) {
+        shared.telemetry.with(|r| {
+            r.counter(names::SERVE_REQUESTS_TOTAL, &[("kind", "ping"), ("outcome", "ok")]).inc()
+        });
+        return Admitted::Inline(ServeReply::Pong);
+    }
+    if matches!(req, ServeRequest::Shutdown) {
+        shared.telemetry.with(|r| {
+            r.counter(names::SERVE_REQUESTS_TOTAL, &[("kind", "shutdown"), ("outcome", "ok")])
+                .inc()
+        });
+        shared.begin_shutdown();
+        return Admitted::Inline(ServeReply::Bye);
+    }
+    if let Err(reason) = validate(req, &shared.cfg) {
+        record_rejection(&shared.telemetry, "bad_request");
+        return Admitted::Inline(ServeReply::Err(ServeError::BadRequest { reason }));
+    }
+    let deadline = match req.deadline_ms() {
+        0 => shared.cfg.default_deadline,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job { req: req.clone(), admitted: Instant::now(), deadline, reply: reply_tx };
+    match tx.try_send(job) {
+        Ok(()) => {
+            shared.queue_gauge(1);
+            Admitted::Queued(reply_rx)
+        }
+        Err(TrySendError::Full(_)) => {
+            record_rejection(&shared.telemetry, "overloaded");
+            Admitted::Inline(ServeReply::Err(ServeError::Overloaded {
+                queue_depth: shared.cfg.queue_depth as u32,
+            }))
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            Admitted::Inline(ServeReply::Err(ServeError::ShuttingDown))
+        }
+    }
+}
+
+/// Request validation against the server's admission caps.
+fn validate(req: &ServeRequest, cfg: &ServeConfig) -> Result<(), String> {
+    let spec = match req {
+        ServeRequest::Ping | ServeRequest::Shutdown => return Ok(()),
+        ServeRequest::Plan { spec, .. }
+        | ServeRequest::Replan { spec, .. }
+        | ServeRequest::Simulate { spec, .. } => spec,
+    };
+    check_spec(spec, cfg)?;
+    if let ServeRequest::Replan { remaining_gpus, .. } = req {
+        let budget_gpus = spec.nodes * 8;
+        if *remaining_gpus == 0 || *remaining_gpus > budget_gpus {
+            return Err(format!("remaining_gpus {remaining_gpus} outside 1..={budget_gpus}"));
+        }
+    }
+    if let ServeRequest::Simulate { iterations, .. } = req {
+        if *iterations == 0 || *iterations > cfg.max_iterations {
+            return Err(format!("iterations {iterations} outside 1..={}", cfg.max_iterations));
+        }
+    }
+    Ok(())
+}
+
+fn check_spec(spec: &SpecDesc, cfg: &ServeConfig) -> Result<(), String> {
+    if crate::store::parse_preset(&spec.preset).is_none() {
+        return Err(format!("unknown preset {:?}", spec.preset));
+    }
+    if spec.nodes < 2 || spec.nodes > cfg.max_nodes {
+        return Err(format!("nodes {} outside 2..={}", spec.nodes, cfg.max_nodes));
+    }
+    if spec.global_batch == 0 || spec.global_batch > 1 << 16 {
+        return Err(format!("global_batch {} outside 1..=65536", spec.global_batch));
+    }
+    if spec.microbatch == 0 || spec.microbatch > spec.global_batch {
+        return Err(format!(
+            "microbatch {} outside 1..={}",
+            spec.microbatch, spec.global_batch
+        ));
+    }
+    Ok(())
+}
+
+fn record_rejection(tel: &Telemetry, reason: &str) {
+    tel.with(|r| r.counter(names::SERVE_REJECTED_TOTAL, &[("reason", reason)]).inc());
+}
+
+/// Worker: dequeue, expire, execute, reply.
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
+    loop {
+        let job = match rx.lock().expect("queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone: daemon drained
+        };
+        shared.queue_gauge(-1);
+        let kind = job.req.kind();
+        let waited = job.admitted.elapsed();
+        if let Some(deadline) = job.deadline {
+            if waited > deadline {
+                record_rejection(&shared.telemetry, "deadline");
+                let _ = job.reply.send(ServeReply::Err(ServeError::DeadlineExceeded {
+                    waited_ms: waited.as_millis() as u64,
+                }));
+                continue;
+            }
+        }
+        if let Some(delay) = shared.cfg.worker_delay {
+            std::thread::sleep(delay);
+        }
+        let reply = execute(&job.req, shared);
+        let outcome = if matches!(reply, ServeReply::Err(_)) { "error" } else { "ok" };
+        shared.telemetry.with(|r| {
+            r.counter(names::SERVE_REQUESTS_TOTAL, &[("kind", kind), ("outcome", outcome)]).inc();
+            r.histogram(names::SERVE_REQUEST_SECONDS, &[("kind", kind)])
+                .observe(job.admitted.elapsed().as_secs_f64());
+        });
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Execute one admitted request against the shared warm store.
+fn execute(req: &ServeRequest, shared: &Shared) -> ServeReply {
+    match req {
+        // Ping/shutdown are answered inline at admission; these arms only
+        // exist for exhaustiveness.
+        ServeRequest::Ping => ServeReply::Pong,
+        ServeRequest::Shutdown => ServeReply::Bye,
+        ServeRequest::Plan { spec, budget, .. } => match plan(spec, None, *budget, shared) {
+            Ok(summary) => ServeReply::Plan(summary),
+            Err(e) => ServeReply::Err(e),
+        },
+        ServeRequest::Replan { spec, remaining_gpus, budget, .. } => {
+            match plan(spec, Some(*remaining_gpus), *budget, shared) {
+                Ok(summary) => ServeReply::Plan(summary),
+                Err(e) => ServeReply::Err(e),
+            }
+        }
+        ServeRequest::Simulate { spec, iterations, .. } => {
+            match simulate(spec, *iterations, shared) {
+                Ok(summary) => ServeReply::Sim(summary),
+                Err(e) => ServeReply::Err(e),
+            }
+        }
+    }
+}
+
+fn module_summary(p: &ModulePlan) -> ModuleSummary {
+    ModuleSummary { tp: p.tp, dp: p.dp, pp: p.pp, gpus: p.gpus() }
+}
+
+fn summarize(report: &PlanReport, warm: bool) -> PlanSummary {
+    PlanSummary {
+        encoder: module_summary(&report.plan.encoder),
+        backbone: module_summary(&report.plan.backbone),
+        generator: module_summary(&report.plan.generator),
+        total_gpus: report.plan.total_gpus(),
+        predicted_iter_secs: report.objective.total(),
+        proven_optimal: report.proven_optimal,
+        candidates_evaluated: report.candidates_evaluated as u64,
+        cache_hits: report.cache_hits,
+        warm,
+        solve_ms: report.solve_wall_time.as_secs_f64() * 1e3,
+    }
+}
+
+/// Record warm-store counters into the registry.
+fn record_store(shared: &Shared, warm: bool) {
+    shared.telemetry.with(|r| {
+        if warm {
+            r.counter(names::SERVE_STORE_HITS_TOTAL, &[]).inc();
+        } else {
+            r.counter(names::SERVE_STORE_MISSES_TOTAL, &[]).inc();
+        }
+    });
+}
+
+/// The full §4 search for a spec, warm-started from the shared store.
+/// `shrink_to` runs the degraded replan instead.
+fn plan(
+    spec: &SpecDesc,
+    shrink_to: Option<u32>,
+    budget: u32,
+    shared: &Shared,
+) -> Result<PlanSummary, ServeError> {
+    let task =
+        task_for(spec).ok_or_else(|| ServeError::BadRequest { reason: "unknown preset".into() })?;
+    let (report, warm) = search(spec, &task, shrink_to, budget, shared)?;
+    Ok(summarize(&report, warm))
+}
+
+fn search(
+    spec: &SpecDesc,
+    task: &TrainingTask,
+    shrink_to: Option<u32>,
+    budget: u32,
+    shared: &Shared,
+) -> Result<(PlanReport, bool), ServeError> {
+    let top_k = budget.clamp(1, shared.cfg.max_budget) as usize;
+    let (entry, warm) = shared.store.get_or_build(&spec.fingerprint(), task);
+    record_store(shared, warm);
+    let mut guard = entry.lock().expect("entry lock");
+    let orch = Orchestrator::builder()
+        .spec(task.problem_spec())
+        .top_k(top_k)
+        .telemetry(shared.telemetry.clone())
+        .build()
+        .map_err(|e| ServeError::Plan { reason: e.to_string() })?;
+    let reports = match shrink_to {
+        None => orch.plan_candidates_warm(&task.model, &guard.profile, &guard.warm),
+        Some(remaining) => {
+            orch.replan_degraded_warm(&task.model, &guard.profile, remaining, &guard.warm)
+        }
+    }
+    .map_err(|e| ServeError::Plan { reason: e.to_string() })?;
+    let report = reports.into_iter().next().expect("plan_candidates returns non-empty on Ok");
+    // Future replans for this fingerprint seed their incumbent from what
+    // we actually served.
+    guard.warm.observe(&report.plan);
+    Ok((report, warm))
+}
+
+/// Plan, then run `iterations` of simulated training under the plan.
+fn simulate(
+    spec: &SpecDesc,
+    iterations: u32,
+    shared: &Shared,
+) -> Result<SimSummary, ServeError> {
+    let task =
+        task_for(spec).ok_or_else(|| ServeError::BadRequest { reason: "unknown preset".into() })?;
+    let (report, warm) = search(spec, &task, None, 1, shared)?;
+    let cfg = task.runtime_config(SystemKind::DistTrain, iterations);
+    let training = task.run_with_plan(report.plan, cfg);
+    Ok(SimSummary {
+        plan: summarize(&report, warm),
+        iterations,
+        mean_iter_secs: training.mean_iter_secs(),
+        mfu: training.mfu(),
+        samples_per_sec: training.samples_per_sec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig { telemetry: Telemetry::disabled(), ..ServeConfig::default() }
+    }
+
+    #[test]
+    fn validation_rejects_out_of_budget_specs() {
+        let cfg = cfg();
+        let good = SpecDesc::ablation("mllm-9b", 128);
+        let plan = |spec: SpecDesc| ServeRequest::Plan { spec, budget: 1, deadline_ms: 0 };
+        assert!(validate(&plan(good.clone()), &cfg).is_ok());
+        let mut bad = good.clone();
+        bad.preset = "gpt-1t".into();
+        assert!(validate(&plan(bad), &cfg).is_err());
+        let mut bad = good.clone();
+        bad.nodes = 1;
+        assert!(validate(&plan(bad), &cfg).is_err());
+        let mut bad = good.clone();
+        bad.nodes = cfg.max_nodes + 1;
+        assert!(validate(&plan(bad), &cfg).is_err());
+        let mut bad = good.clone();
+        bad.global_batch = 0;
+        assert!(validate(&plan(bad), &cfg).is_err());
+        let mut bad = good.clone();
+        bad.microbatch = bad.global_batch + 1;
+        assert!(validate(&plan(bad), &cfg).is_err());
+        let over_iter = ServeRequest::Simulate {
+            spec: good.clone(),
+            iterations: cfg.max_iterations + 1,
+            deadline_ms: 0,
+        };
+        assert!(validate(&over_iter, &cfg).is_err());
+        let over_replan = ServeRequest::Replan {
+            spec: good.clone(),
+            remaining_gpus: good.nodes * 8 + 1,
+            budget: 1,
+            deadline_ms: 0,
+        };
+        assert!(validate(&over_replan, &cfg).is_err());
+    }
+
+    #[test]
+    fn oversized_budget_is_clamped_not_rejected() {
+        let cfg = cfg();
+        let spec = SpecDesc::ablation("mllm-9b", 128);
+        let req = ServeRequest::Plan { spec, budget: 10_000, deadline_ms: 0 };
+        assert!(validate(&req, &cfg).is_ok(), "budget is clamped at execution, not rejected");
+    }
+}

@@ -1,0 +1,83 @@
+//! A deliberately tiny HTTP/1.0 responder for the live `/metrics`
+//! endpoint.
+//!
+//! The daemon speaks two protocols on one port: length-prefixed frames
+//! for planning traffic, and plain HTTP for observability scrapes. The
+//! session loop dispatches on the first four bytes — `b"GET "` can never
+//! begin a legitimate frame here (it would claim a ~542 MB control
+//! message, which admission-scale requests never are), so a Prometheus
+//! scraper, `curl`, or a browser just works against the same address
+//! clients plan against.
+//!
+//! Only `GET` is answered, the request head is read with a hard 8 KiB
+//! bound, and every connection is closed after one response — this is an
+//! exposition endpoint, not a web server.
+
+use dt_telemetry::{names, Telemetry};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Most header bytes read before giving up on a request head.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Serve exactly one HTTP exchange on `stream`, then close.
+pub fn serve_http(stream: &mut TcpStream, telemetry: Telemetry) -> io::Result<()> {
+    let head = match read_head(stream) {
+        Ok(head) => head,
+        Err(_) => {
+            // Unterminated or oversized head: answer 400 rather than hang.
+            return respond(stream, 400, "text/plain", "bad request\n");
+        }
+    };
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("GET"), Some(path)) => Some(path.to_string()),
+                _ => None,
+            }
+        });
+    match path.as_deref() {
+        Some("/metrics") => {
+            telemetry.with(|r| r.counter(names::SERVE_SCRAPES_TOTAL, &[]).inc());
+            let body = telemetry.snapshot().to_prometheus_text();
+            respond(stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        Some("/healthz") => respond(stream, 200, "text/plain", "ok\n"),
+        Some(_) => respond(stream, 404, "text/plain", "not found\n"),
+        None => respond(stream, 400, "text/plain", "bad request\n"),
+    }
+}
+
+/// Read until the blank line ending the request head, bounded.
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while head.len() < MAX_HEAD {
+        stream.read_exact(&mut byte)?;
+        head.push(byte[0]);
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            return String::from_utf8(head)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+        }
+    }
+    Err(io::Error::new(io::ErrorKind::InvalidData, "request head too large"))
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -152,4 +152,24 @@ pub mod names {
     pub const FAULT_CHECKPOINTS_TOTAL: &str = "dt_fault_checkpoints_total";
     /// Iterations lost to rollback, counter.
     pub const FAULT_LOST_ITERATIONS_TOTAL: &str = "dt_fault_lost_iterations_total";
+
+    // dt-serve (planner daemon)
+    /// Requests completed by the daemon, counter, labelled
+    /// `kind` (plan/replan/simulate/ping) and `outcome` (ok/error).
+    pub const SERVE_REQUESTS_TOTAL: &str = "dt_serve_requests_total";
+    /// Requests rejected at admission, counter, labelled `reason`
+    /// (overloaded/deadline/bad_request/malformed).
+    pub const SERVE_REJECTED_TOTAL: &str = "dt_serve_rejected_total";
+    /// Jobs currently queued for the worker pool, gauge.
+    pub const SERVE_QUEUE_DEPTH: &str = "dt_serve_queue_depth";
+    /// End-to-end request latency (admission to reply), seconds,
+    /// histogram labelled `kind`.
+    pub const SERVE_REQUEST_SECONDS: &str = "dt_serve_request_seconds";
+    /// Warm-plan store lookups served from a prebuilt entry, counter.
+    pub const SERVE_STORE_HITS_TOTAL: &str = "dt_serve_store_hits_total";
+    /// Warm-plan store lookups that had to profile + build cost tables,
+    /// counter.
+    pub const SERVE_STORE_MISSES_TOTAL: &str = "dt_serve_store_misses_total";
+    /// HTTP scrapes of the live `/metrics` endpoint, counter.
+    pub const SERVE_SCRAPES_TOTAL: &str = "dt_serve_scrapes_total";
 }

@@ -67,6 +67,50 @@ if grep -q '"proven_optimal":false' BENCH_solver.json; then
     exit 1
 fi
 
+echo "==> repro serve smoke (daemon round-trip: plan, warm hit, replan, simulate, /metrics, drain)"
+# Ephemeral port: the daemon prints its bound address on stdout; poll the
+# log until it appears, then drive it with the one-shot client. The second
+# plan must be a warm-store hit, and the scrape must show it.
+SERVE_LOG="$VERIFY_TMP/serve.log"
+./target/release/repro serve --addr 127.0.0.1:0 --workers 2 > "$SERVE_LOG" &
+SERVE_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+    SERVE_ADDR="$(sed -n 's/^dt-serve listening on //p' "$SERVE_LOG")"
+    [ -n "$SERVE_ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "serve daemon died at startup" >&2; cat "$SERVE_LOG" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$SERVE_ADDR" ] || { echo "serve daemon never printed its address" >&2; cat "$SERVE_LOG" >&2; exit 1; }
+CLIENT="./target/release/repro client --addr $SERVE_ADDR"
+$CLIENT plan --preset mllm-9b --nodes 12 --batch 128 | grep -q 'warm=false' \
+    || { echo "cold plan was not cold" >&2; exit 1; }
+$CLIENT plan --preset mllm-9b --nodes 12 --batch 128 | grep -q 'warm=true' \
+    || { echo "repeated plan missed the warm store" >&2; exit 1; }
+$CLIENT replan --preset mllm-9b --nodes 12 --batch 128 --remaining 64 | grep -q '^plan: total_gpus=64' \
+    || { echo "replan did not land on the degraded GPU count" >&2; exit 1; }
+$CLIENT simulate --iters 1 | grep -q '^simulated 1 iteration' \
+    || { echo "simulate round-trip failed" >&2; exit 1; }
+$CLIENT metrics > "$VERIFY_TMP/serve_metrics.prom"
+grep -q '^dt_serve_requests_total{kind="plan",outcome="ok"}' "$VERIFY_TMP/serve_metrics.prom" \
+    || { echo "dt_serve_requests_total missing from /metrics" >&2; exit 1; }
+grep -Eq '^dt_serve_store_hits_total [1-9]' "$VERIFY_TMP/serve_metrics.prom" \
+    || { echo "warm-store hit not visible in /metrics" >&2; exit 1; }
+$CLIENT shutdown | grep -q '^bye' || { echo "graceful shutdown handshake failed" >&2; exit 1; }
+wait "$SERVE_PID" || { echo "serve daemon exited non-zero after drain" >&2; exit 1; }
+grep -q 'dt-serve drained and stopped' "$SERVE_LOG" \
+    || { echo "daemon did not report a clean drain" >&2; cat "$SERVE_LOG" >&2; exit 1; }
+
+echo "==> bench_service smoke (BENCH_service.json + service-level gates)"
+# Same cwd pinning as bench_orchestrator; the bench itself enforces the
+# service gates (all requests answered, warm hits > 0, overload probe
+# rejected at least one request with a typed Overloaded).
+DT_BENCH_SERVICE_REQS="${DT_BENCH_SERVICE_REQS:-5}" DT_BENCH_SERVICE_JSON="$PWD/BENCH_service.json" \
+    cargo bench -p dt-bench --bench bench_service --quiet
+test -s BENCH_service.json || { echo "BENCH_service.json missing or empty" >&2; exit 1; }
+grep -q '"overload_probe"' BENCH_service.json \
+    || { echo "overload probe results missing from BENCH_service.json" >&2; exit 1; }
+
 echo "==> repro --metrics smoke (Prometheus exposition + JSON archive)"
 ./target/release/repro zoo --metrics "$VERIFY_TMP/metrics.prom" > /dev/null
 test -s "$VERIFY_TMP/metrics.prom" || { echo "metrics.prom missing or empty" >&2; exit 1; }
