@@ -1,17 +1,276 @@
-//! Real codec throughput (the Figure 17 work units): decompress, resize,
-//! patchify per image size, plus the end-to-end per-sample pipeline.
+//! Load generator for the §6 preprocessing data plane: real `Preprocess`
+//! planes at a sweep of producer×consumer topologies, each consumer a
+//! fan-in [`MultiFeeder`] over real TCP sockets, plus a vision-heavy skew
+//! scenario whose samples carry a single 65,536-token image (2048² pixels
+//! at patch 8) — the §2.3 heavy-tail shape that makes preprocessing worth
+//! disaggregating in the first place.
+//!
+//! Emits `BENCH_PREPROCESS.json` (override with `DT_BENCH_PREPROCESS_JSON`)
+//! with per-topology samples/sec and p50/p99/max consumer stall, plus the
+//! plane's backpressure/session counters. `DT_BENCH_PREPROCESS_BATCHES`
+//! scales the per-consumer batch count for longer runs. Gates, applied
+//! after the JSON is written so a failed run still leaves the evidence:
+//! every consumer must receive every batch it asked for, each producer's
+//! stream must arrive in order (sample ids count up per session), the
+//! skew scenario must really deliver 65k-token images, and every plane
+//! must shut down cleanly.
 
-use dt_bench::timing::{bench, iters_or};
-use dt_preprocess::codec::{decompress, patchify, resize, synth_compressed};
+use dt_data::{DataConfig, ResolutionMode};
+use dt_preprocess::{Consumer, Preprocess};
+use dt_simengine::Json;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Percentile over an already-sorted latency vector (nearest-rank on the
+/// inclusive [0, n-1] index line).
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Topology {
+    name: &'static str,
+    producers: usize,
+    consumers: usize,
+}
+
+struct TopologyResult {
+    name: &'static str,
+    producers: usize,
+    consumers: usize,
+    expected_batches: u64,
+    delivered_batches: u64,
+    samples: u64,
+    in_order: bool,
+    max_token_len: u64,
+    wall: Duration,
+    stalls_ms: Vec<f64>,
+    backpressure_events: u64,
+    sessions_accepted: u64,
+    malformed_frames: u64,
+    clean_shutdown: bool,
+}
+
+/// Drive one plane: `producers` endpoints, `consumers` fan-in feeders,
+/// each fetching `batches` global batches of `batch` samples. Returns the
+/// per-fetch stalls and the in-order verdict (per consumer, per producer:
+/// sample ids must count up from 0 — each connection is its own
+/// deterministic session stream).
+fn run_topology(topo: &Topology, data: &DataConfig, batch: u32, batches: u32) -> TopologyResult {
+    let mut plane = Preprocess::builder(data.clone(), 17)
+        .producers(topo.producers)
+        .workers(2)
+        .queue_capacity(4)
+        .spawn()
+        .expect("spawn plane");
+    let addrs: Vec<SocketAddr> = plane.addrs().to_vec();
+
+    let barrier = Arc::new(Barrier::new(topo.consumers));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..topo.consumers)
+        .map(|_| {
+            let addrs = addrs.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let feeder = Consumer::builder(&addrs)
+                    .batch(batch)
+                    .pipeline(2)
+                    .connect()
+                    .expect("connect fan-in consumer");
+                barrier.wait();
+                let mut stalls_ms = Vec::with_capacity(batches as usize);
+                let mut next_id: HashMap<SocketAddr, u64> = HashMap::new();
+                let mut samples = 0u64;
+                let mut delivered = 0u64;
+                let mut in_order = true;
+                let mut max_token_len = 0u64;
+                for _ in 0..batches {
+                    let Ok((addr, b, report)) = feeder.next_batch_from() else { break };
+                    delivered += 1;
+                    samples += b.batch.samples.len() as u64;
+                    stalls_ms.push(report.stall.as_secs_f64() * 1e3);
+                    max_token_len = max_token_len.max(b.token_lens.iter().copied().max().unwrap_or(0));
+                    let expected = next_id.entry(addr).or_insert(0);
+                    in_order &= b.batch.samples.first().map(|s| s.id) == Some(*expected);
+                    *expected += b.batch.samples.len() as u64;
+                }
+                (delivered, samples, stalls_ms, in_order, max_token_len)
+            })
+        })
+        .collect();
+
+    let mut delivered_batches = 0u64;
+    let mut samples = 0u64;
+    let mut stalls_ms = Vec::new();
+    let mut in_order = true;
+    let mut max_token_len = 0u64;
+    for h in handles {
+        let (d, s, st, ord, mt) = h.join().expect("consumer thread");
+        delivered_batches += d;
+        samples += s;
+        stalls_ms.extend(st);
+        in_order &= ord;
+        max_token_len = max_token_len.max(mt);
+    }
+    let wall = started.elapsed();
+    let stats = plane.stats();
+    let clean_shutdown = plane.shutdown();
+    stalls_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite stall"));
+
+    TopologyResult {
+        name: topo.name,
+        producers: topo.producers,
+        consumers: topo.consumers,
+        expected_batches: topo.consumers as u64 * u64::from(batches),
+        delivered_batches,
+        samples,
+        in_order,
+        max_token_len,
+        wall,
+        stalls_ms,
+        backpressure_events: stats.backpressure_events,
+        sessions_accepted: stats.sessions_accepted,
+        malformed_frames: stats.malformed_frames,
+        clean_shutdown,
+    }
+}
+
+fn result_json(r: &TopologyResult) -> Json {
+    let rate = r.samples as f64 / r.wall.as_secs_f64().max(1e-9);
+    Json::obj(vec![
+        ("name", Json::Str(r.name.into())),
+        ("producers", Json::num_u64(r.producers as u64)),
+        ("consumers", Json::num_u64(r.consumers as u64)),
+        ("expected_batches", Json::num_u64(r.expected_batches)),
+        ("delivered_batches", Json::num_u64(r.delivered_batches)),
+        ("samples", Json::num_u64(r.samples)),
+        ("wall_secs", Json::Num(r.wall.as_secs_f64())),
+        ("samples_per_sec", Json::Num(rate)),
+        ("stall_p50_ms", Json::Num(percentile_ms(&r.stalls_ms, 50.0))),
+        ("stall_p99_ms", Json::Num(percentile_ms(&r.stalls_ms, 99.0))),
+        ("stall_max_ms", Json::Num(r.stalls_ms.last().copied().unwrap_or(0.0))),
+        ("in_order", Json::Bool(r.in_order)),
+        ("backpressure_events", Json::num_u64(r.backpressure_events)),
+        ("sessions_accepted", Json::num_u64(r.sessions_accepted)),
+        ("malformed_frames", Json::num_u64(r.malformed_frames)),
+        ("clean_shutdown", Json::Bool(r.clean_shutdown)),
+    ])
+}
+
+fn print_result(prefix: &str, r: &TopologyResult) {
+    let rate = r.samples as f64 / r.wall.as_secs_f64().max(1e-9);
+    println!(
+        "{prefix}/{name:<8} {delivered}/{expected} batches   {rate:>9.1} samples/s   \
+         stall p50 {p50:>7.2} ms   p99 {p99:>7.2} ms   bp {bp}",
+        name = r.name,
+        delivered = r.delivered_batches,
+        expected = r.expected_batches,
+        p50 = percentile_ms(&r.stalls_ms, 50.0),
+        p99 = percentile_ms(&r.stalls_ms, 99.0),
+        bp = r.backpressure_events,
+    );
+}
 
 fn main() {
-    let iters = iters_or(10);
-    for res in [256u32, 512, 1024] {
-        let img = synth_compressed(res, 42);
-        let raw = decompress(&img);
-        let resized = resize(&raw, img.raw_res, res);
-        bench(&format!("codec/decompress/{res}"), iters, || decompress(&img));
-        bench(&format!("codec/resize/{res}"), iters, || resize(&raw, img.raw_res, res));
-        bench(&format!("codec/patchify/{res}"), iters, || patchify(&resized, res, 16));
+    let batches: u32 = std::env::var("DT_BENCH_PREPROCESS_BATCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let batch: u32 = std::env::var("DT_BENCH_PREPROCESS_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    // The throughput sweep: modest 128² images so the numbers measure the
+    // data plane (framing, queues, fan-in), not raw codec arithmetic.
+    let standard = DataConfig {
+        resolution: ResolutionMode::Fixed(128),
+        ..DataConfig::evaluation(128)
+    };
+    let topologies = [
+        Topology { name: "1x1", producers: 1, consumers: 1 },
+        Topology { name: "2x2", producers: 2, consumers: 2 },
+        Topology { name: "4x2", producers: 4, consumers: 2 },
+    ];
+    let mut results: Vec<TopologyResult> = Vec::new();
+    for topo in &topologies {
+        let r = run_topology(topo, &standard, batch, batches);
+        print_result("preprocess", &r);
+        results.push(r);
     }
+
+    // The vision-heavy skew scenario: every sample carries one 2048² image
+    // tokenized at patch 8 — 65,536 image tokens, 12.6 MB of token bytes —
+    // so a single sample saturates the 80% image budget of an 81,920-token
+    // sequence. One batch is one such sample.
+    let skew_res = 2048u32;
+    let skew_patch = 8u32;
+    let skew_tokens = u64::from((skew_res / skew_patch) * (skew_res / skew_patch));
+    let skew_data = DataConfig {
+        seq_len: skew_tokens * 10 / 8, // image budget (80%) == exactly one image
+        patch: skew_patch,
+        resolution: ResolutionMode::Fixed(skew_res),
+        max_images_per_sample: 1,
+        ..DataConfig::evaluation(512)
+    };
+    let skew_topo = Topology { name: "skew65k", producers: 1, consumers: 1 };
+    let skew_batches = batches.clamp(1, 3);
+    let skew = run_topology(&skew_topo, &skew_data, 1, skew_batches);
+    print_result("preprocess", &skew);
+
+    let out = Json::obj(vec![
+        ("bench", Json::Str("bench_preprocess".into())),
+        ("batch", Json::num_u64(u64::from(batch))),
+        ("batches_per_consumer", Json::num_u64(u64::from(batches))),
+        ("topologies", Json::Arr(results.iter().map(result_json).collect())),
+        (
+            "skew_65k",
+            Json::obj(vec![
+                ("tokens_per_image", Json::num_u64(skew_tokens)),
+                ("resolution", Json::num_u64(u64::from(skew_res))),
+                ("patch", Json::num_u64(u64::from(skew_patch))),
+                ("result", result_json(&skew)),
+            ]),
+        ),
+    ]);
+    let path = std::env::var("DT_BENCH_PREPROCESS_JSON")
+        .unwrap_or_else(|_| "BENCH_PREPROCESS.json".to_string());
+    let mut text = String::new();
+    out.write(&mut text);
+    text.push('\n');
+    std::fs::write(&path, text).expect("write BENCH_PREPROCESS.json");
+    println!("wrote {path}");
+
+    // Gates — after the JSON so a failed run still leaves the evidence.
+    for r in results.iter().chain(std::iter::once(&skew)) {
+        assert_eq!(
+            r.delivered_batches, r.expected_batches,
+            "{}: {} of {} batches never arrived",
+            r.name,
+            r.expected_batches - r.delivered_batches,
+            r.expected_batches
+        );
+        assert!(r.in_order, "{}: a producer stream arrived out of order", r.name);
+        assert_eq!(r.malformed_frames, 0, "{}: well-behaved consumers counted malformed", r.name);
+        assert!(r.clean_shutdown, "{}: plane did not shut down cleanly", r.name);
+        assert!(
+            r.samples as f64 / r.wall.as_secs_f64().max(1e-9) > 0.0,
+            "{}: zero throughput is not a measurement",
+            r.name
+        );
+        // Every consumer opens one session per producer endpoint.
+        assert_eq!(r.sessions_accepted, (r.producers * r.consumers) as u64, "{}", r.name);
+    }
+    let token_bytes_per_image = 3 * u64::from(skew_res) * u64::from(skew_res);
+    assert!(
+        skew.max_token_len >= token_bytes_per_image,
+        "skew scenario never delivered a full 65k-token image \
+         (max token_len {} < {token_bytes_per_image})",
+        skew.max_token_len
+    );
 }

@@ -12,6 +12,8 @@
 //! repro check --seeds 500         # deeper sweep
 //! repro check --prop wire.frames_round_trip            # one property
 //! repro check --prop NAME --seed 7 --size 3            # replay one case
+//! repro preprocess                # data-plane smoke: 2 producers × 2 consumers
+//! repro preprocess --producers 4 --consumers 2 --batch 8 --batches 6
 //! repro serve                     # planner daemon on an ephemeral port
 //! repro serve --addr 127.0.0.1:7411 --workers 4        # pinned address
 //! repro client --addr A plan --preset mllm-9b --nodes 12 --batch 128
@@ -57,7 +59,8 @@ fn usage(all: &[Experiment]) {
     eprintln!(
         "usage: repro [--trace <path>] [--json <path>] [--metrics <path>] \
          <experiment>... | all | list\n       \
-         repro check [--seeds N] [--prop NAME] [--seed S --size K]"
+         repro check [--seeds N] [--prop NAME] [--seed S --size K]\n       \
+         repro preprocess [--producers N] [--consumers M] [--batch B] [--batches K]"
     );
     eprintln!("experiments:");
     for (name, _) in all {
@@ -370,10 +373,134 @@ fn run_client(raw: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `repro preprocess [--producers N] [--consumers M] [--batch B]
+/// [--batches K]` — smoke the §6 preprocessing data plane: a live
+/// N-endpoint `Preprocess` plane, M fan-in `MultiFeeder` consumers over
+/// real TCP, per-producer in-order verification, and a clean-shutdown
+/// check. Exits non-zero if any batch is lost, any stream arrives out of
+/// order, or the plane fails to shut down cleanly. Never returns.
+fn run_preprocess(raw: &[String]) -> ! {
+    use dt_preprocess::{Consumer, Preprocess};
+    let usage =
+        "usage: repro preprocess [--producers N] [--consumers M] [--batch B] [--batches K]";
+    let mut producers: usize = 2;
+    let mut consumers: usize = 2;
+    let mut batch: u32 = 4;
+    let mut batches: u32 = 4;
+    let mut i = 0;
+    while i < raw.len() {
+        let flag = raw[i].as_str();
+        let Some(value) = raw.get(i + 1) else {
+            eprintln!("error: {flag} requires a value\n{usage}");
+            std::process::exit(2);
+        };
+        let parsed: Result<(), String> = match flag {
+            "--producers" => value.parse().map(|v| producers = v).map_err(|e| format!("{e}")),
+            "--consumers" => value.parse().map(|v| consumers = v).map_err(|e| format!("{e}")),
+            "--batch" => value.parse().map(|v| batch = v).map_err(|e| format!("{e}")),
+            "--batches" => value.parse().map(|v| batches = v).map_err(|e| format!("{e}")),
+            other => {
+                eprintln!(
+                    "error: unknown preprocess flag '{other}' \
+                     (valid: --producers, --consumers, --batch, --batches)"
+                );
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: bad value '{value}' for {flag}: {e}");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+    if consumers == 0 {
+        eprintln!("error: --consumers must be at least 1");
+        std::process::exit(2);
+    }
+
+    let data = dt_data::DataConfig {
+        resolution: dt_data::ResolutionMode::Fixed(64),
+        ..dt_data::DataConfig::evaluation(64)
+    };
+    let mut plane = match Preprocess::builder(data, 23).producers(producers).workers(2).spawn() {
+        Ok(plane) => plane,
+        Err(e) => {
+            eprintln!("error: cannot spawn the preprocessing plane: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addrs = plane.addrs().to_vec();
+    println!("preprocess plane: {producers} producer endpoint(s), {consumers} consumer(s)");
+    for (idx, addr) in addrs.iter().enumerate() {
+        println!("  endpoint {idx} listening on {addr}");
+    }
+
+    let handles: Vec<_> = (0..consumers)
+        .map(|c| {
+            let addrs = addrs.clone();
+            std::thread::spawn(move || -> Result<(u64, u64, bool, u64), String> {
+                let feeder = Consumer::builder(&addrs)
+                    .batch(batch)
+                    .pipeline(2)
+                    .connect()
+                    .map_err(|e| format!("consumer {c} rejected: {e}"))?;
+                let mut next_id = std::collections::HashMap::new();
+                let mut delivered = 0u64;
+                let mut samples = 0u64;
+                let mut in_order = true;
+                for k in 0..batches {
+                    let (addr, b, _) = feeder
+                        .next_batch_from()
+                        .map_err(|e| format!("consumer {c} fetch {k} failed: {e}"))?;
+                    delivered += 1;
+                    samples += b.batch.samples.len() as u64;
+                    let expected = next_id.entry(addr).or_insert(0u64);
+                    in_order &= b.batch.samples.first().map(|s| s.id) == Some(*expected);
+                    *expected += b.batch.samples.len() as u64;
+                }
+                Ok((delivered, samples, in_order, feeder.reconnects()))
+            })
+        })
+        .collect();
+
+    let mut failed = false;
+    for (c, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok((delivered, samples, in_order, reconnects))) => {
+                println!(
+                    "consumer {c}: {delivered}/{batches} batches ({samples} samples), \
+                     in-order per producer: {in_order}, reconnects: {reconnects}"
+                );
+                failed |= delivered != u64::from(batches) || !in_order;
+            }
+            Ok(Err(e)) => {
+                println!("consumer {c}: FAILED — {e}");
+                failed = true;
+            }
+            Err(_) => {
+                println!("consumer {c}: FAILED — consumer thread panicked");
+                failed = true;
+            }
+        }
+    }
+
+    let stats = plane.stats();
+    println!(
+        "plane stats: sessions {}, backpressure events {}, malformed frames {}",
+        stats.sessions_accepted, stats.backpressure_events, stats.malformed_frames
+    );
+    let clean = plane.shutdown();
+    println!("clean shutdown: {clean}");
+    std::process::exit(if failed || !clean { 1 } else { 0 });
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("check") {
         run_check(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("preprocess") {
+        run_preprocess(&raw[1..]);
     }
     if raw.first().map(String::as_str) == Some("serve") {
         run_serve(&raw[1..]);

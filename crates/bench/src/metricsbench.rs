@@ -15,7 +15,7 @@ use dt_data::{DataConfig, ResolutionMode};
 use dt_elastic::{run_elastic_instrumented, CheckpointPolicy, ElasticPlan};
 use dt_model::MllmPreset;
 use dt_orchestrator::{Orchestrator, PerfModel, Profiler};
-use dt_preprocess::{DisaggregatedFeeder, ProducerConfig, ProducerHandle};
+use dt_preprocess::{DisaggregatedFeeder, Preprocess};
 use dt_simengine::{SimDuration, TraceRecorder};
 use dt_telemetry::{MetricValue, Snapshot, Telemetry};
 
@@ -73,9 +73,11 @@ pub fn default_metrics_run() -> MetricsRun {
         resolution: ResolutionMode::Fixed(64),
         ..DataConfig::evaluation(64)
     };
-    let producer = ProducerHandle::spawn(ProducerConfig::new(data, 29).with_telemetry(tel.clone()))
+    let producer = Preprocess::builder(data, 29)
+        .telemetry(tel.clone())
+        .spawn()
         .expect("spawn producer");
-    let feeder = DisaggregatedFeeder::connect_instrumented(producer.addr, 4, 2, None, tel.clone())
+    let feeder = DisaggregatedFeeder::connect_instrumented(producer.addr(), 4, 2, None, tel.clone())
         .expect("connect feeder");
     for _ in 0..2 {
         let _ = feeder.next_batch().expect("fetch batch");

@@ -152,6 +152,97 @@ pub fn corrupt_wire_stream(rng: &mut DetRng, size: usize) -> Vec<u8> {
     buf
 }
 
+/// One hostile-peer behavior against a live producer endpoint — the §6
+/// data plane must shrug every one of these off: close the offending
+/// session (counting it malformed where it is), keep serving well-behaved
+/// consumers, and still shut down cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostilePeer {
+    /// Pure garbage bytes, then close.
+    Garbage(Vec<u8>),
+    /// A 4-byte length header claiming `claim` bytes, then `tail` real
+    /// bytes, then close — the lying-header attack.
+    LyingHeader { claim: u32, tail: Vec<u8> },
+    /// A valid `FetchBatch` frame truncated after `keep` bytes, then close.
+    TruncatedRequest { count: u32, keep: usize },
+    /// Connect and immediately disconnect.
+    SilentClose,
+    /// A valid `FetchBatch`, then vanish without reading the response —
+    /// the producer's write path hits the dead socket mid-batch.
+    FetchThenVanish { count: u32 },
+    /// A valid `FetchBatch`, read only `keep` bytes of the response, then
+    /// vanish — a mid-stream disconnect while the response is in flight.
+    FetchReadPartial { count: u32, keep: usize },
+    /// The polite path: a well-formed `Shutdown`.
+    PoliteShutdown,
+}
+
+impl HostilePeer {
+    /// The bytes this peer writes before (possibly) reading and closing.
+    /// Returns `(bytes_to_send, response_bytes_to_read)`.
+    pub fn wire_bytes(&self) -> (Vec<u8>, usize) {
+        let mut buf = Vec::new();
+        match self {
+            HostilePeer::Garbage(bytes) => (bytes.clone(), 0),
+            HostilePeer::LyingHeader { claim, tail } => {
+                buf.extend_from_slice(&claim.to_le_bytes());
+                buf.extend_from_slice(tail);
+                (buf, 0)
+            }
+            HostilePeer::TruncatedRequest { count, keep } => {
+                write_json(&mut buf, &Request::FetchBatch { count: *count })
+                    .expect("vec write cannot fail");
+                buf.truncate((*keep).min(buf.len()));
+                (buf, 0)
+            }
+            HostilePeer::SilentClose => (buf, 0),
+            HostilePeer::FetchThenVanish { count } => {
+                write_json(&mut buf, &Request::FetchBatch { count: *count })
+                    .expect("vec write cannot fail");
+                (buf, 0)
+            }
+            HostilePeer::FetchReadPartial { count, keep } => {
+                write_json(&mut buf, &Request::FetchBatch { count: *count })
+                    .expect("vec write cannot fail");
+                (buf, *keep)
+            }
+            HostilePeer::PoliteShutdown => {
+                write_json(&mut buf, &Request::Shutdown).expect("vec write cannot fail");
+                (buf, 0)
+            }
+        }
+    }
+}
+
+/// Draw one hostile-peer script. Counts stay small so the producer-side
+/// codec work a hostile fetch triggers is bounded.
+pub fn hostile_peer(rng: &mut DetRng) -> HostilePeer {
+    match rng.range_usize(0, 7) {
+        0 => {
+            let len = rng.range_usize(1, 64);
+            HostilePeer::Garbage(rng.bytes(len))
+        }
+        1 => {
+            // Anything from "too big for a request" to "bigger than any
+            // frame": both must close the session, not allocate.
+            let claim = rng.range_u64(1 << 17, u32::MAX as u64) as u32;
+            let tail_len = rng.range_usize(0, 32);
+            HostilePeer::LyingHeader { claim, tail: rng.bytes(tail_len) }
+        }
+        2 => HostilePeer::TruncatedRequest {
+            count: rng.range_u64(1, 4) as u32,
+            keep: rng.range_usize(1, 12),
+        },
+        3 => HostilePeer::SilentClose,
+        4 => HostilePeer::FetchThenVanish { count: rng.range_u64(1, 3) as u32 },
+        5 => HostilePeer::FetchReadPartial {
+            count: rng.range_u64(1, 3) as u32,
+            keep: rng.range_usize(1, 64),
+        },
+        _ => HostilePeer::PoliteShutdown,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +256,33 @@ mod tests {
         assert_ne!(batch(5), batch(6));
         let stream = |seed: u64| corrupt_wire_stream(&mut DetRng::new(seed), 4);
         assert_eq!(stream(9), stream(9));
+    }
+
+    #[test]
+    fn hostile_peers_are_seed_deterministic_and_cover_every_variant() {
+        let peers = |seed: u64| -> Vec<HostilePeer> {
+            let mut rng = DetRng::new(seed);
+            (0..64).map(|_| hostile_peer(&mut rng)).collect()
+        };
+        assert_eq!(peers(13), peers(13));
+        let sweep = peers(13);
+        let discriminant = |p: &HostilePeer| match p {
+            HostilePeer::Garbage(_) => 0,
+            HostilePeer::LyingHeader { .. } => 1,
+            HostilePeer::TruncatedRequest { .. } => 2,
+            HostilePeer::SilentClose => 3,
+            HostilePeer::FetchThenVanish { .. } => 4,
+            HostilePeer::FetchReadPartial { .. } => 5,
+            HostilePeer::PoliteShutdown => 6,
+        };
+        let mut seen = [false; 7];
+        for p in &sweep {
+            seen[discriminant(p)] = true;
+            // Every script's wire bytes are well-defined and bounded.
+            let (bytes, _) = p.wire_bytes();
+            assert!(bytes.len() < 256, "{p:?} sends {} bytes", bytes.len());
+        }
+        assert!(seen.iter().all(|&s| s), "64 draws should cover all 7 behaviors: {seen:?}");
     }
 
     #[test]

@@ -16,14 +16,19 @@ use dt_orchestrator::{Orchestrator, PerfModel, Profiler, SearchMode};
 use dt_pipeline::schedule::StageOp;
 use dt_pipeline::sim::homogeneous_1f1b_makespan;
 use dt_pipeline::{simulate, PipelineSpec, Schedule, Workload};
+use dt_data::{DataConfig, ResolutionMode};
 use dt_preprocess::wire::{read_frame, read_json, BatchHeader, Request};
+use dt_preprocess::{Consumer, Preprocess};
+use dt_simengine::BackoffPolicy;
 use dt_reorder::{
     inter_reorder, intra_reorder, intra_reorder_indices, max_group_load, InterReorderConfig,
     ReorderError,
 };
 use dt_simengine::{DetRng, Json, SimDuration, SimTime};
 use dt_telemetry::{Registry, Snapshot};
-use std::io::Cursor;
+use std::io::{Cursor, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
 
 /// Every registered oracle, in presentation order. Set the
 /// `DT_CHECK_SELF_TEST` environment variable to additionally register an
@@ -108,6 +113,14 @@ pub fn registry() -> Vec<Property> {
             max_size: 6,
             max_cases: u32::MAX,
             run: wire_garbage,
+        },
+        Property {
+            name: "service.survives_hostile_peers_end_to_end",
+            about: "live N×M plane vs hostile peers + mid-stream disconnects over real sockets: \
+                    still serves in order, shuts down clean",
+            max_size: 4,
+            max_cases: u32::MAX,
+            run: service_hostile_peers,
         },
         Property {
             name: "telemetry.snapshot_json_round_trip",
@@ -504,6 +517,79 @@ fn wire_garbage(rng: &mut DetRng, size: usize) -> Result<(), Failure> {
     let mut cur = Cursor::new(&bytes[..]);
     while read_json::<BatchHeader>(&mut cur).is_ok() {}
     Ok(())
+}
+
+/// The end-to-end fuzz oracle for the §6 preprocessing data plane: spawn
+/// a real N-endpoint `Preprocess` plane, throw seeded hostile peers at it
+/// over genuine TCP connections (garbage, lying length headers, truncated
+/// requests, and mid-stream disconnects with responses in flight), then
+/// prove a well-behaved fan-in consumer is still served *in order* and
+/// the plane shuts down cleanly — no session thread may have panicked.
+fn service_hostile_peers(rng: &mut DetRng, size: usize) -> Result<(), Failure> {
+    let data = DataConfig { resolution: ResolutionMode::Fixed(32), ..DataConfig::evaluation(32) };
+    let endpoints = rng.range_usize(1, 3);
+    let mut plane = Preprocess::builder(data, rng.next_u64() >> 1)
+        .producers(endpoints)
+        .workers(1)
+        .queue_capacity(2)
+        .spawn()
+        .map_err(|e| Failure::new(format!("plane failed to spawn: {e}")))?;
+    let addrs = plane.addrs().to_vec();
+
+    let hostiles = rng.range_usize(1, size.clamp(1, 4) + 1);
+    for i in 0..hostiles {
+        let addr = addrs[rng.range_usize(0, addrs.len())];
+        let peer = gen::hostile_peer(rng);
+        let mut sock = TcpStream::connect(addr)
+            .map_err(|e| Failure::new(format!("hostile peer {i} could not connect: {e}")))?;
+        sock.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout is valid");
+        let (bytes, read_back) = peer.wire_bytes();
+        // The server is allowed to slam the session shut mid-write or
+        // mid-read; only the plane's health matters, not the peer's.
+        let _ = sock.write_all(&bytes);
+        let _ = sock.flush();
+        if read_back > 0 {
+            let mut sink = vec![0u8; read_back];
+            let _ = sock.read_exact(&mut sink);
+        }
+        drop(sock); // vanish, response possibly still in flight
+    }
+
+    // A well-behaved fan-in consumer must still be served, in order: the
+    // per-session sample streams count ids up from 0 deterministically.
+    let feeder = Consumer::builder(&addrs)
+        .batch(2)
+        .pipeline(1)
+        .backoff(BackoffPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(10),
+            seed: rng.next_u64(),
+        })
+        .connect()
+        .map_err(|e| Failure::new(format!("well-behaved consumer rejected: {e}")))?;
+    let mut next_id: std::collections::HashMap<std::net::SocketAddr, u64> =
+        std::collections::HashMap::new();
+    for i in 0..2 {
+        let (addr, batch, _) = feeder.next_batch_from().map_err(|e| {
+            Failure::new(format!("fetch {i} after {hostiles} hostile peers failed: {e}"))
+        })?;
+        ensure(batch.batch.len() == 2, || {
+            format!("fetch {i}: expected 2 samples, got {}", batch.batch.len())
+        })?;
+        let expected = next_id.entry(addr).or_insert(0);
+        ensure(batch.batch.samples[0].id == *expected, || {
+            format!(
+                "fetch {i} from {addr} out of order: sample id {} != expected {expected}",
+                batch.batch.samples[0].id
+            )
+        })?;
+        *expected += batch.batch.samples.len() as u64;
+    }
+    drop(feeder);
+    ensure(plane.shutdown(), || {
+        format!("plane did not shut down cleanly after {hostiles} hostile peers")
+    })
 }
 
 fn telemetry_round_trip(rng: &mut DetRng, size: usize) -> Result<(), Failure> {

@@ -205,7 +205,7 @@ pub fn serial_preprocess_time(batch: &GlobalBatch) -> Duration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::service::{ProducerConfig, ProducerHandle};
+    use crate::service::Preprocess;
     use dt_data::ResolutionMode;
 
     fn tiny_data() -> DataConfig {
@@ -217,8 +217,8 @@ mod tests {
         let mut colocated = ColocatedFeeder::new(tiny_data(), 7, None, 2);
         let (a, _) = colocated.next_batch(4);
 
-        let producer = ProducerHandle::spawn(ProducerConfig::new(tiny_data(), 7)).unwrap();
-        let feeder = DisaggregatedFeeder::connect(producer.addr, 4, 2).unwrap();
+        let producer = Preprocess::builder(tiny_data(), 7).spawn().unwrap();
+        let feeder = DisaggregatedFeeder::connect(producer.addr(), 4, 2).unwrap();
         let (b, _) = feeder.next_batch().unwrap();
 
         assert_eq!(a.batch, b.batch, "both modes must deliver the same deterministic stream");
@@ -235,8 +235,8 @@ mod tests {
 
     #[test]
     fn disaggregated_stall_vanishes_once_warm() {
-        let producer = ProducerHandle::spawn(ProducerConfig::new(tiny_data(), 11)).unwrap();
-        let feeder = DisaggregatedFeeder::connect(producer.addr, 4, 3).unwrap();
+        let producer = Preprocess::builder(tiny_data(), 11).spawn().unwrap();
+        let feeder = DisaggregatedFeeder::connect(producer.addr(), 4, 3).unwrap();
         // Warm the prefetch queue.
         let (_, first) = feeder.next_batch().unwrap();
         std::thread::sleep(Duration::from_millis(120));
@@ -251,11 +251,9 @@ mod tests {
     #[test]
     fn traced_feeder_records_prefetch_and_stall_spans() {
         let sink = WallTraceSink::new();
-        let producer =
-            ProducerHandle::spawn(ProducerConfig::new(tiny_data(), 19).with_trace(sink.clone()))
-                .unwrap();
+        let producer = Preprocess::builder(tiny_data(), 19).trace(sink.clone()).spawn().unwrap();
         let feeder =
-            DisaggregatedFeeder::connect_traced(producer.addr, 3, 2, Some(sink.clone())).unwrap();
+            DisaggregatedFeeder::connect_traced(producer.addr(), 3, 2, Some(sink.clone())).unwrap();
         let _ = feeder.next_batch().unwrap();
         let spans = sink.snapshot();
         assert!(spans.iter().any(|s| s.pid == CONSUMER_PID && s.cat == cat::PRE_FETCH));
@@ -267,12 +265,10 @@ mod tests {
     #[test]
     fn instrumented_feeder_and_producer_record_the_preprocess_families() {
         let tel = Telemetry::enabled();
-        let producer = ProducerHandle::spawn(
-            ProducerConfig::new(tiny_data(), 23).with_telemetry(tel.clone()),
-        )
-        .unwrap();
+        let producer =
+            Preprocess::builder(tiny_data(), 23).telemetry(tel.clone()).spawn().unwrap();
         let feeder =
-            DisaggregatedFeeder::connect_instrumented(producer.addr, 3, 2, None, tel.clone())
+            DisaggregatedFeeder::connect_instrumented(producer.addr(), 3, 2, None, tel.clone())
                 .unwrap();
         let (_, first) = feeder.next_batch().unwrap();
         let (_, _) = feeder.next_batch().unwrap();
@@ -302,18 +298,19 @@ mod tests {
 
     #[test]
     fn slow_producer_fault_is_visible_as_stall() {
-        let mut cfg = ProducerConfig::new(tiny_data(), 13);
-        cfg.fault_delay = Some(Duration::from_millis(80));
-        let producer = ProducerHandle::spawn(cfg).unwrap();
-        let feeder = DisaggregatedFeeder::connect(producer.addr, 2, 1).unwrap();
+        let producer = Preprocess::builder(tiny_data(), 13)
+            .fault_delay(Duration::from_millis(80))
+            .spawn()
+            .unwrap();
+        let feeder = DisaggregatedFeeder::connect(producer.addr(), 2, 1).unwrap();
         let (_, report) = feeder.next_batch().unwrap();
         assert!(report.stall >= Duration::from_millis(40), "fault not visible: {:?}", report.stall);
     }
 
     #[test]
     fn producer_death_surfaces_as_error_not_hang() {
-        let producer = ProducerHandle::spawn(ProducerConfig::new(tiny_data(), 17)).unwrap();
-        let addr = producer.addr;
+        let producer = Preprocess::builder(tiny_data(), 17).spawn().unwrap();
+        let addr = producer.addr();
         let feeder = DisaggregatedFeeder::connect(addr, 2, 1).unwrap();
         let _ = feeder.next_batch().unwrap();
         drop(producer); // kill the service mid-session

@@ -77,6 +77,72 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// Write every byte of `parts` as one logical stream via vectored I/O,
+/// handling partial writes. The slices are never copied into a staging
+/// buffer — the kernel gathers them directly (`writev`), which is what
+/// lets the producer ship a header frame plus a multi-chunk payload frame
+/// without ever materializing their concatenation.
+pub fn write_vectored_all(w: &mut impl Write, parts: &[&[u8]]) -> io::Result<()> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut written = 0usize;
+    while written < total {
+        // Rebuild the remaining-slice view past `written` bytes. O(parts)
+        // per syscall; parts is small (one header + one slice per sample).
+        let mut slices: Vec<io::IoSlice<'_>> = Vec::with_capacity(parts.len());
+        let mut skip = written;
+        for p in parts {
+            if skip >= p.len() {
+                skip -= p.len();
+            } else {
+                slices.push(io::IoSlice::new(&p[skip..]));
+                skip = 0;
+            }
+        }
+        match w.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "vectored write stalled"))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    w.flush()
+}
+
+/// Coalesce one response — a JSON header frame plus a raw payload frame
+/// whose body is the concatenation of `payload_chunks` — into a single
+/// vectored write:
+///
+/// ```text
+/// [u32 LE header len][header][u32 LE Σchunk len][chunk 0]…[chunk n-1]
+/// ```
+///
+/// Byte-identical on the wire to `write_json` + `write_frame` over the
+/// concatenated payload, but with zero payload copies and one syscall
+/// instead of four.
+pub fn write_batch_frames(
+    w: &mut impl Write,
+    header: &[u8],
+    payload_chunks: &[&[u8]],
+) -> io::Result<()> {
+    let oversized = |_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large");
+    let header_len = u32::try_from(header.len()).map_err(oversized)?;
+    let payload_len =
+        u32::try_from(payload_chunks.iter().map(|c| c.len()).sum::<usize>()).map_err(oversized)?;
+    if header_len > MAX_FRAME || payload_len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    let header_head = header_len.to_le_bytes();
+    let payload_head = payload_len.to_le_bytes();
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(3 + payload_chunks.len());
+    parts.push(&header_head);
+    parts.push(header);
+    parts.push(&payload_head);
+    parts.extend(payload_chunks.iter().copied());
+    write_vectored_all(w, &parts)
+}
+
 /// Write a JSON control message as one frame.
 pub fn write_json<T: WireJson>(w: &mut impl Write, msg: &T) -> io::Result<()> {
     write_frame(w, msg.to_json().to_string().as_bytes())
@@ -148,5 +214,58 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), payload);
+    }
+
+    #[test]
+    fn batch_frames_match_the_unbatched_encoding_byte_for_byte() {
+        let header = br#"{"samples":[],"token_lens":[3,0,4]}"#;
+        let chunks: [&[u8]; 3] = [b"abc", b"", b"wxyz"];
+        let mut coalesced = Vec::new();
+        write_batch_frames(&mut coalesced, header, &chunks).unwrap();
+        let mut reference = Vec::new();
+        write_frame(&mut reference, header).unwrap();
+        write_frame(&mut reference, &chunks.concat()).unwrap();
+        assert_eq!(coalesced, reference, "coalescing must not change the wire bytes");
+        // And it reads back as two ordinary frames.
+        let mut cur = Cursor::new(coalesced);
+        assert_eq!(read_frame(&mut cur).unwrap(), header);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"abcwxyz");
+    }
+
+    #[test]
+    fn empty_payload_batch_still_frames() {
+        let mut buf = Vec::new();
+        write_batch_frames(&mut buf, b"hdr", &[]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"hdr");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+    }
+
+    /// A writer that accepts at most `limit` bytes per call and ignores the
+    /// vectored fast path — exercises the partial-write resume logic.
+    struct Dribble {
+        out: Vec<u8>,
+        limit: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.limit);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        let parts: [&[u8]; 4] = [b"alpha", b"", b"beta", b"gamma!"];
+        for limit in [1usize, 2, 3, 7, 100] {
+            let mut w = Dribble { out: Vec::new(), limit };
+            write_vectored_all(&mut w, &parts).unwrap();
+            assert_eq!(w.out, b"alphabetagamma!", "limit {limit}");
+        }
     }
 }

@@ -7,15 +7,26 @@
 //! so the Figure 17 comparison (colocated seconds vs disaggregated
 //! milliseconds) is *measured*, not assumed.
 //!
-//! Architecture (producer/consumer, §5.1):
+//! Architecture (N producers × M consumers, §6's scaled topology):
 //!
 //! ```text
-//! ┌  CPU node (producer) ────────────────┐    ┌ GPU node (consumer) ─┐
-//! │ SyntheticLaion → ReorderPlanner      │    │ DisaggregatedFeeder  │
-//! │   → worker pool (codec)              │───▶│   prefetch thread    │
-//! │   → framed TCP responses             │TCP │   → bounded channel  │
-//! └──────────────────────────────────────┘    └──────────────────────┘
+//! ┌ CPU node (producer endpoint ×N) ─────┐    ┌ GPU node (consumer ×M) ┐
+//! │ nonblocking event loop               │    │ MultiFeeder            │
+//! │   per session: SyntheticLaion        │    │   supervisor per       │
+//! │     → ReorderPlanner                 │───▶│   producer (reconnect  │
+//! │     → worker pool (codec)            │TCP │   w/ seeded backoff)   │
+//! │     → bounded queue (backpressure)   │×NM │   → bounded fan-in     │
+//! │     → coalesced vectored writes      │    │     channel            │
+//! └──────────────────────────────────────┘    └────────────────────────┘
 //! ```
+//!
+//! The data plane is built with [`service::Preprocess::builder`] (typed
+//! [`PreprocessError`] validation, one nonblocking event loop per
+//! endpoint, explicit [`PreprocessError::Backpressured`] signalling on
+//! the bounded per-session queues) and consumed either by the
+//! single-connection [`DisaggregatedFeeder`] or the fan-in
+//! [`consumer::Consumer`] builder ([`MultiFeeder`]: one supervised,
+//! auto-reconnecting connection per producer endpoint).
 //!
 //! The colocated baseline ([`feeder::ColocatedFeeder`]) performs the same
 //! codec work synchronously on the "GPU node" thread, which is exactly how
@@ -26,7 +37,7 @@
 //!
 //! Both halves are observable: attach a
 //! [`WallTraceSink`](dt_simengine::trace::WallTraceSink) via
-//! [`ProducerConfig::with_trace`] and
+//! [`PreprocessBuilder::trace`](service::PreprocessBuilder::trace) and
 //! [`DisaggregatedFeeder::connect_traced`] to record wall-clock
 //! fetch/decode/feed spans on the producer (pid [`PREPROCESS_PID`], one
 //! track per client session) and prefetch/queue-wait spans on the consumer
@@ -34,6 +45,8 @@
 //! Chrome-trace export.
 
 pub mod codec;
+pub mod consumer;
+pub mod error;
 pub mod feeder;
 pub mod frame;
 pub mod reorder_planner;
@@ -41,6 +54,12 @@ pub mod service;
 pub mod wire;
 
 pub use codec::{decompress, patchify, preprocess_sample, resize, synth_compressed, PreprocessedSample};
+pub use consumer::{Consumer, ConsumerBuilder, MultiFeeder};
+pub use error::PreprocessError;
 pub use feeder::{ColocatedFeeder, DisaggregatedFeeder, FeederReport, CONSUMER_PID};
 pub use reorder_planner::{ReorderMode, ReorderPlanner};
-pub use service::{ProducerConfig, ProducerHandle, PREPROCESS_PID};
+pub use service::{
+    Preprocess, PreprocessBuilder, PreprocessHandle, PlaneStatsSnapshot, PREPROCESS_PID,
+};
+#[allow(deprecated)]
+pub use service::{ProducerConfig, ProducerHandle};

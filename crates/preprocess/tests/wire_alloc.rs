@@ -9,6 +9,7 @@
 //! allocation request* made while reading a truncated 1 GiB-claiming
 //! frame to at most one read chunk.
 
+use dt_preprocess::frame::write_batch_frames;
 use dt_preprocess::wire::{read_frame, write_frame, FRAME_READ_CHUNK, MAX_FRAME};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Cursor;
@@ -56,6 +57,68 @@ fn corrupt_header_never_balloons_memory() {
         "corrupt 1 GiB header caused a {peak}-byte allocation request \
          (bound: {} bytes)",
         2 * FRAME_READ_CHUNK
+    );
+}
+
+/// A writer that discards everything — so the only allocations measured
+/// while writing through it are the codec's own staging, not the sink.
+struct NullSink;
+
+impl std::io::Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn batched_framing_never_materializes_the_payload() {
+    // The coalesced producer write path (`write_batch_frames`) ships a
+    // header frame plus an 8 MiB payload frame built from 32 chunks. If it
+    // ever staged the concatenation, the peak allocation request would be
+    // ~8 MiB; the vectored path only allocates the IoSlice views, so the
+    // bound is one read chunk — the same 64 KiB budget PR 5 pinned for the
+    // reader.
+    let chunk: Vec<u8> = (0..256 * 1024).map(|i| (i * 17) as u8).collect();
+    let chunks: Vec<&[u8]> = (0..32).map(|_| chunk.as_slice()).collect();
+    let header = br#"{"samples":[],"token_lens":[]}"#;
+
+    PEAK_REQUEST.store(0, Ordering::Relaxed);
+    write_batch_frames(&mut NullSink, header, &chunks).unwrap();
+    let peak = PEAK_REQUEST.load(Ordering::Relaxed);
+
+    assert!(
+        peak <= FRAME_READ_CHUNK,
+        "coalesced write of an 8 MiB batch staged a {peak}-byte buffer \
+         (bound: {FRAME_READ_CHUNK} bytes — vectored writes must not copy)"
+    );
+}
+
+#[test]
+fn corrupt_batch_payload_header_stays_chunk_bounded() {
+    // A batch response whose header frame is honest but whose payload
+    // frame claims the 1 GiB maximum and then truncates — the consumer's
+    // `read_frame` loop must stay within the chunked-read bound on the
+    // second frame too.
+    let mut buf = Vec::new();
+    write_frame(&mut buf, br#"{"samples":[]}"#).unwrap();
+    buf.extend_from_slice(&MAX_FRAME.to_le_bytes());
+    buf.extend_from_slice(&[0u8; 256]);
+
+    let mut cur = Cursor::new(buf);
+    let header = read_frame(&mut cur).unwrap();
+    assert_eq!(header, br#"{"samples":[]}"#);
+
+    PEAK_REQUEST.store(0, Ordering::Relaxed);
+    let err = read_frame(&mut cur).unwrap_err();
+    let peak = PEAK_REQUEST.load(Ordering::Relaxed);
+
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    assert!(
+        peak <= 2 * FRAME_READ_CHUNK,
+        "corrupt batch payload header caused a {peak}-byte allocation request"
     );
 }
 

@@ -16,13 +16,17 @@
 //! Backoff is *seeded*: jitter comes from a [`DetRng`] owned by the
 //! client, so a load test (or a unit test) can predict the exact sleep
 //! schedule. See [`RetryPolicy::backoff_schedule`] for the closed form.
+//! The pacing itself — schedule, jitter, deadline budgeting — is the
+//! shared [`dt_simengine::backoff`] implementation, the same machinery
+//! the `dt-preprocess` reconnect supervisor runs on.
 
 use crate::api::{ServeReply, ServeRequest};
 use dt_preprocess::frame::{read_json, write_json};
+use dt_simengine::backoff::{BackoffPolicy, Deadline};
 use dt_simengine::DetRng;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Retry/backoff configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +54,17 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// The shared pacing policy this retry policy delegates to (see
+    /// [`dt_simengine::backoff::BackoffPolicy`]).
+    pub fn as_backoff(&self) -> BackoffPolicy {
+        BackoffPolicy {
+            max_attempts: self.max_attempts,
+            base: self.base_backoff,
+            cap: self.max_backoff,
+            seed: self.seed,
+        }
+    }
+
     /// The deterministic sleep schedule this policy produces: entry `k`
     /// is the backoff after failed attempt `k+1`. Exponential growth,
     /// capped at [`RetryPolicy::max_backoff`], with multiplicative jitter
@@ -57,16 +72,11 @@ impl RetryPolicy {
     /// decorrelation Optimus-style schedulers use so synchronized clients
     /// do not re-stampede a recovering server.
     pub fn backoff_schedule(&self) -> Vec<Duration> {
-        let mut rng = DetRng::new(self.seed);
-        (0..self.max_attempts.saturating_sub(1))
-            .map(|k| self.nth_backoff(k, &mut rng))
-            .collect()
+        self.as_backoff().schedule()
     }
 
     fn nth_backoff(&self, k: u32, rng: &mut DetRng) -> Duration {
-        let exp = self.base_backoff.as_secs_f64() * 2f64.powi(k.min(20) as i32);
-        let capped = exp.min(self.max_backoff.as_secs_f64());
-        Duration::from_secs_f64(capped * rng.range_f64(0.5, 1.0))
+        self.as_backoff().nth_backoff(k, rng)
     }
 }
 
@@ -133,12 +143,12 @@ impl Client {
     /// reply (which may itself be a *terminal* [`ServeReply::Err`] —
     /// those are surfaced as [`ClientError::Server`]).
     pub fn request(&mut self, req: &ServeRequest) -> Result<ServeReply, ClientError> {
-        let started = Instant::now();
+        let deadline = Deadline::start(self.deadline);
         let mut last = String::new();
         let mut attempts = 0;
         for k in 0..self.policy.max_attempts.max(1) {
             attempts = k + 1;
-            match self.attempt(req, started) {
+            match self.attempt(req, deadline) {
                 Ok(ServeReply::Err(e)) if e.retryable() => last = e.to_string(),
                 Ok(ServeReply::Err(e)) => return Err(ClientError::Server(e)),
                 Ok(reply) => return Ok(reply),
@@ -147,10 +157,8 @@ impl Client {
             // Budget the sleep against the deadline: sleeping past it
             // would burn wall time with no attempt left to spend it on.
             let backoff = self.policy.nth_backoff(k, &mut self.rng);
-            if let Some(deadline) = self.deadline {
-                if started.elapsed() + backoff >= deadline {
-                    break;
-                }
+            if !deadline.allows_sleep(backoff) {
+                break;
             }
             if k + 1 < self.policy.max_attempts {
                 std::thread::sleep(backoff);
@@ -159,13 +167,10 @@ impl Client {
         Err(ClientError::Exhausted { attempts, last })
     }
 
-    fn attempt(&self, req: &ServeRequest, started: Instant) -> io::Result<ServeReply> {
-        let remaining = match self.deadline {
-            Some(deadline) => deadline
-                .checked_sub(started.elapsed())
-                .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "client deadline spent"))?,
-            None => Duration::from_secs(3600),
-        };
+    fn attempt(&self, req: &ServeRequest, deadline: Deadline) -> io::Result<ServeReply> {
+        let remaining = deadline
+            .remaining_or(Duration::from_secs(3600))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "client deadline spent"))?;
         let mut stream = TcpStream::connect_timeout(&self.addr, remaining)?;
         stream.set_read_timeout(Some(remaining))?;
         stream.set_write_timeout(Some(remaining))?;

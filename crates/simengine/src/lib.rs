@@ -22,12 +22,17 @@
 //!   exports Chrome-trace / Perfetto JSON. Zero-cost when disabled.
 //! * [`json`] — the dependency-free JSON value type ([`json::Json`]) behind
 //!   the trace exporter, the wire protocol, and checkpoints.
+//! * [`backoff`] — seeded full-jitter exponential backoff and deadline
+//!   accounting ([`BackoffPolicy`], [`Deadline`]): the one retry-pacing
+//!   implementation shared by the `dt-serve` client and the `dt-preprocess`
+//!   reconnect supervisor.
 //!
 //! Higher layers map paper sections onto this substrate: `dt-pipeline` and
 //! `dt-orchestrator` implement §4 (disaggregated model orchestration),
 //! `dt-reorder` implements §5 (disaggregated data reordering), and
 //! `dt-stepccl` implements §6 (StepCCL communication/computation overlap).
 
+pub mod backoff;
 pub mod event;
 pub mod json;
 pub mod rng;
@@ -35,6 +40,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use backoff::{BackoffPolicy, Deadline};
 pub use event::{EventQueue, Simulator};
 pub use json::Json;
 pub use rng::DetRng;

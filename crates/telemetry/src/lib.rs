@@ -118,6 +118,15 @@ pub mod names {
     pub const PREPROCESS_BATCHES_TOTAL: &str = "dt_preprocess_batches_total";
     /// Samples produced, counter.
     pub const PREPROCESS_SAMPLES_TOTAL: &str = "dt_preprocess_samples_total";
+    /// Producer backpressure events: a ready batch could not enter the
+    /// bounded per-session queue (consumer too slow), counter.
+    pub const PREPROCESS_BACKPRESSURE_TOTAL: &str = "dt_preprocess_backpressure_total";
+    /// Consumer-side reconnects performed by the supervision loop, counter.
+    pub const PREPROCESS_RECONNECTS_TOTAL: &str = "dt_preprocess_reconnects_total";
+    /// Malformed frames/requests from hostile or corrupt peers, counter.
+    pub const PREPROCESS_MALFORMED_TOTAL: &str = "dt_preprocess_malformed_total";
+    /// Consumer sessions accepted across all producer endpoints, counter.
+    pub const PREPROCESS_SESSIONS_TOTAL: &str = "dt_preprocess_sessions_total";
 
     /// Node failures observed, counter.
     pub const ELASTIC_FAILURES_TOTAL: &str = "dt_elastic_failures_total";

@@ -1,0 +1,110 @@
+//! The real disaggregated preprocessing data plane (§5.1/§6) on localhost.
+//!
+//! ```text
+//! cargo run --release --example preprocess_service
+//! ```
+//!
+//! Walks the redesigned service API end to end:
+//!
+//! 1. the colocated baseline (preprocessing blocks the trainer);
+//! 2. a single producer endpoint consumed by the classic
+//!    [`DisaggregatedFeeder`] — Figure 17 live;
+//! 3. the scaled N×M topology: a 2-endpoint plane built with
+//!    [`Preprocess::builder`], fanned in by a [`Consumer::builder`]
+//!    `MultiFeeder` with per-producer reconnect supervision, plus the
+//!    plane's backpressure/session stats.
+
+use disttrain::data::{DataConfig, ResolutionMode};
+use disttrain::model::MllmPreset;
+use disttrain::preprocess::{
+    ColocatedFeeder, Consumer, DisaggregatedFeeder, Preprocess, ReorderMode, ReorderPlanner,
+};
+use disttrain::reorder::InterReorderConfig;
+use std::time::Duration;
+
+fn main() {
+    // Keep the demo snappy: 256×256 images, 4-sample batches.
+    let data = DataConfig { resolution: ResolutionMode::Fixed(256), ..DataConfig::evaluation(256) };
+    let batch = 4u32;
+
+    println!("== colocated baseline (preprocessing blocks the trainer) ==");
+    let mut colocated = ColocatedFeeder::new(data.clone(), 42, None, 2);
+    for i in 0..3 {
+        let (b, report) = colocated.next_batch(batch);
+        println!(
+            "  iter {i}: stall {:>8.1?}  ({} samples, {:.1} MB of tokens)",
+            report.stall,
+            b.batch.len(),
+            b.tokens.len() as f64 / 1e6
+        );
+    }
+
+    println!("\n== disaggregated producer/consumer over TCP ==");
+    let planner = ReorderPlanner {
+        model: MllmPreset::Mllm9B.build(),
+        dp: 2,
+        microbatch: 1,
+        inter_cfg: InterReorderConfig::new(4, 0.05, 0.10),
+        secs_per_flop: 1e-14,
+        mode: ReorderMode::Full,
+    };
+    let producer = Preprocess::builder(data.clone(), 42)
+        .workers(4)
+        .planner(planner)
+        .spawn()
+        .expect("spawn producer");
+    println!("  producer listening on {}", producer.addr());
+
+    let feeder = DisaggregatedFeeder::connect(producer.addr(), batch, 3).expect("connect");
+    for i in 0..3 {
+        // Pretend the GPUs train for a while; the producer runs ahead.
+        std::thread::sleep(Duration::from_millis(60));
+        let (b, report) = feeder.next_batch().expect("batch");
+        println!(
+            "  iter {i}: stall {:>8.1?}  (producer spent {:?} off the critical path)",
+            report.stall, b.producer_cpu
+        );
+    }
+    drop(feeder);
+    drop(producer);
+
+    println!("\n== scaled N×M data plane (2 producer endpoints, fan-in consumer) ==");
+    let mut plane = Preprocess::builder(data, 7)
+        .producers(2)
+        .workers(2)
+        .queue_capacity(4)
+        .spawn()
+        .expect("spawn plane");
+    for (i, addr) in plane.addrs().iter().enumerate() {
+        println!("  endpoint {i} listening on {addr}");
+    }
+
+    let feeder = Consumer::builder(plane.addrs())
+        .batch(batch)
+        .pipeline(2)
+        .connect()
+        .expect("connect fan-in consumer");
+    for i in 0..4 {
+        std::thread::sleep(Duration::from_millis(40));
+        let (addr, b, report) = feeder.next_batch_from().expect("batch");
+        println!(
+            "  iter {i}: stall {:>8.1?}  ({} samples from {addr})",
+            report.stall,
+            b.batch.len()
+        );
+    }
+    drop(feeder);
+
+    let stats = plane.stats();
+    println!(
+        "  plane stats: {} sessions, {} backpressure events, {} malformed frames",
+        stats.sessions_accepted, stats.backpressure_events, stats.malformed_frames
+    );
+    assert!(plane.shutdown(), "clean shutdown");
+
+    println!("\nThe colocated stall is the full preprocessing cost; the disaggregated");
+    println!("stall is only the prefetch-queue wait — the Figure 17 gap, measured live.");
+    println!("The N×M plane serves every endpoint from one process with bounded");
+    println!("queues: when a consumer lags, its generator sees a typed Backpressured");
+    println!("signal instead of the plane buffering without limit.");
+}

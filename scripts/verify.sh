@@ -111,6 +111,35 @@ test -s BENCH_service.json || { echo "BENCH_service.json missing or empty" >&2; 
 grep -q '"overload_probe"' BENCH_service.json \
     || { echo "overload probe results missing from BENCH_service.json" >&2; exit 1; }
 
+echo "==> repro preprocess smoke (2×2 data plane: in-order fan-in, clean shutdown)"
+PREPROCESS_LOG="$VERIFY_TMP/preprocess.log"
+./target/release/repro preprocess --producers 2 --consumers 2 --batch 4 --batches 4 \
+    | tee "$PREPROCESS_LOG"
+[ "$(grep -c 'in-order per producer: true' "$PREPROCESS_LOG")" -eq 2 ] \
+    || { echo "a consumer lost batches or saw out-of-order delivery" >&2; exit 1; }
+grep -q '^clean shutdown: true' "$PREPROCESS_LOG" \
+    || { echo "the preprocessing plane did not shut down cleanly" >&2; exit 1; }
+
+echo "==> bench_preprocess smoke (BENCH_PREPROCESS.json + data-plane gates)"
+# The bench itself fails (exit != 0) if any consumer loses a batch, any
+# producer stream arrives out of order, the 65k-token skew scenario never
+# delivers a full-resolution image, or a plane shuts down dirty. Same cwd
+# pinning as the other benches.
+DT_BENCH_PREPROCESS_BATCHES="${DT_BENCH_PREPROCESS_BATCHES:-3}" \
+    DT_BENCH_PREPROCESS_JSON="$PWD/BENCH_PREPROCESS.json" \
+    cargo bench -p dt-bench --bench bench_preprocess --quiet
+test -s BENCH_PREPROCESS.json || { echo "BENCH_PREPROCESS.json missing or empty" >&2; exit 1; }
+grep -q '"tokens_per_image":65536' BENCH_PREPROCESS.json \
+    || { echo "65k-token skew scenario missing from BENCH_PREPROCESS.json" >&2; exit 1; }
+if grep -q '"in_order":false' BENCH_PREPROCESS.json; then
+    echo "a producer stream arrived out of order (in_order:false)" >&2
+    exit 1
+fi
+if grep -q '"clean_shutdown":false' BENCH_PREPROCESS.json; then
+    echo "a bench plane shut down dirty (clean_shutdown:false)" >&2
+    exit 1
+fi
+
 echo "==> repro --metrics smoke (Prometheus exposition + JSON archive)"
 ./target/release/repro zoo --metrics "$VERIFY_TMP/metrics.prom" > /dev/null
 test -s "$VERIFY_TMP/metrics.prom" || { echo "metrics.prom missing or empty" >&2; exit 1; }

@@ -1,14 +1,16 @@
 //! Integration tests of the real disaggregated preprocessing service:
-//! wire protocol + producer + prefetching consumer under normal operation
-//! and injected faults (§5.1 and the smoltcp-style fault-injection idiom).
+//! wire protocol + producer plane + prefetching consumers under normal
+//! operation and injected faults (§5.1/§6 and the smoltcp-style
+//! fault-injection idiom). Built on the `Preprocess::builder` /
+//! `Consumer::builder` data-plane API.
 
 use disttrain::data::{DataConfig, ResolutionMode};
 use disttrain::model::MllmPreset;
 use disttrain::preprocess::{
-    ColocatedFeeder, DisaggregatedFeeder, ProducerConfig, ProducerHandle, ReorderMode,
-    ReorderPlanner,
+    ColocatedFeeder, Consumer, DisaggregatedFeeder, Preprocess, ReorderMode, ReorderPlanner,
 };
 use disttrain::reorder::InterReorderConfig;
+use std::collections::HashMap;
 use std::time::Duration;
 
 fn tiny() -> DataConfig {
@@ -29,10 +31,8 @@ fn disaggregated_stream_matches_colocated_bit_for_bit() {
     };
     let mut colocated = ColocatedFeeder::new(tiny(), 5, Some(planner.clone()), 2);
 
-    let mut cfg = ProducerConfig::new(tiny(), 5);
-    cfg.planner = Some(planner);
-    let producer = ProducerHandle::spawn(cfg).unwrap();
-    let feeder = DisaggregatedFeeder::connect(producer.addr, 4, 2).unwrap();
+    let producer = Preprocess::builder(tiny(), 5).planner(planner).spawn().unwrap();
+    let feeder = DisaggregatedFeeder::connect(producer.addr(), 4, 2).unwrap();
 
     for _ in 0..3 {
         let (a, _) = colocated.next_batch(4);
@@ -45,8 +45,8 @@ fn disaggregated_stream_matches_colocated_bit_for_bit() {
 
 #[test]
 fn prefetch_hides_producer_latency() {
-    let producer = ProducerHandle::spawn(ProducerConfig::new(tiny(), 8)).unwrap();
-    let feeder = DisaggregatedFeeder::connect(producer.addr, 4, 3).unwrap();
+    let producer = Preprocess::builder(tiny(), 8).spawn().unwrap();
+    let feeder = DisaggregatedFeeder::connect(producer.addr(), 4, 3).unwrap();
     let _ = feeder.next_batch().unwrap(); // cold fetch
     std::thread::sleep(Duration::from_millis(150)); // "training" time
     let (_, warm) = feeder.next_batch().unwrap();
@@ -55,9 +55,9 @@ fn prefetch_hides_producer_latency() {
 
 #[test]
 fn two_consumers_get_independent_sessions() {
-    let producer = ProducerHandle::spawn(ProducerConfig::new(tiny(), 2)).unwrap();
-    let a = DisaggregatedFeeder::connect(producer.addr, 2, 1).unwrap();
-    let b = DisaggregatedFeeder::connect(producer.addr, 2, 1).unwrap();
+    let producer = Preprocess::builder(tiny(), 2).spawn().unwrap();
+    let a = DisaggregatedFeeder::connect(producer.addr(), 2, 1).unwrap();
+    let b = DisaggregatedFeeder::connect(producer.addr(), 2, 1).unwrap();
     let (batch_a, _) = a.next_batch().unwrap();
     let (batch_b, _) = b.next_batch().unwrap();
     // Sessions use derived seeds, so streams are disjoint deterministic
@@ -69,10 +69,11 @@ fn two_consumers_get_independent_sessions() {
 
 #[test]
 fn slow_producer_shows_up_as_bounded_stall_not_corruption() {
-    let mut cfg = ProducerConfig::new(tiny(), 4);
-    cfg.fault_delay = Some(Duration::from_millis(60));
-    let producer = ProducerHandle::spawn(cfg).unwrap();
-    let feeder = DisaggregatedFeeder::connect(producer.addr, 3, 1).unwrap();
+    let producer = Preprocess::builder(tiny(), 4)
+        .fault_delay(Duration::from_millis(60))
+        .spawn()
+        .unwrap();
+    let feeder = DisaggregatedFeeder::connect(producer.addr(), 3, 1).unwrap();
     for _ in 0..3 {
         let (batch, report) = feeder.next_batch().unwrap();
         assert_eq!(batch.batch.len(), 3);
@@ -87,8 +88,8 @@ fn slow_producer_shows_up_as_bounded_stall_not_corruption() {
 
 #[test]
 fn producer_shutdown_mid_stream_is_an_error_not_a_hang() {
-    let producer = ProducerHandle::spawn(ProducerConfig::new(tiny(), 6)).unwrap();
-    let feeder = DisaggregatedFeeder::connect(producer.addr, 2, 1).unwrap();
+    let producer = Preprocess::builder(tiny(), 6).spawn().unwrap();
+    let feeder = DisaggregatedFeeder::connect(producer.addr(), 2, 1).unwrap();
     let _ = feeder.next_batch().unwrap();
     drop(producer);
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
@@ -99,4 +100,26 @@ fn producer_shutdown_mid_stream_is_an_error_not_a_hang() {
             Ok(_) => panic!("dead producer kept serving past the deadline"),
         }
     }
+}
+
+#[test]
+fn multi_endpoint_plane_fans_in_to_one_consumer() {
+    // The §6 topology: N producer endpoints, one MultiFeeder fanning in
+    // over a supervised connection per endpoint, in order per producer.
+    let mut plane = Preprocess::builder(tiny(), 11).producers(2).workers(2).spawn().unwrap();
+    let feeder = Consumer::builder(plane.addrs()).batch(2).pipeline(2).connect().unwrap();
+
+    // Each producer's session stream is deterministic: sample ids count up
+    // from 0 per endpoint, so in-order delivery is directly checkable.
+    let mut next_id: HashMap<_, u64> = HashMap::new();
+    for _ in 0..8 {
+        let (addr, batch, _) = feeder.next_batch_from().unwrap();
+        assert_eq!(batch.batch.len(), 2);
+        let expected = next_id.entry(addr).or_insert(0);
+        assert_eq!(batch.batch.samples[0].id, *expected, "out of order from {addr}");
+        *expected += batch.batch.samples.len() as u64;
+    }
+    assert_eq!(next_id.len(), 2, "both endpoints must contribute");
+    drop(feeder);
+    assert!(plane.shutdown(), "plane must shut down cleanly");
 }
