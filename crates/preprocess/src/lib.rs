@@ -61,5 +61,3 @@ pub use reorder_planner::{ReorderMode, ReorderPlanner};
 pub use service::{
     Preprocess, PreprocessBuilder, PreprocessHandle, PlaneStatsSnapshot, PREPROCESS_PID,
 };
-#[allow(deprecated)]
-pub use service::{ProducerConfig, ProducerHandle};

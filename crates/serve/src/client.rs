@@ -21,12 +21,17 @@
 //! the `dt-preprocess` reconnect supervisor runs on.
 
 use crate::api::{ServeReply, ServeRequest};
-use dt_preprocess::frame::{read_json, write_json};
+use dt_preprocess::frame::{read_json, write_json_ctx};
 use dt_simengine::backoff::{BackoffPolicy, Deadline};
+use dt_simengine::trace::{cat, TraceContext, WallTraceSink};
 use dt_simengine::DetRng;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Chrome-trace process id for the client's own request spans — the root
+/// track of an assembled cross-process trace.
+pub const CLIENT_PID: u64 = 3_000;
 
 /// Retry/backoff configuration.
 #[derive(Debug, Clone)]
@@ -117,7 +122,15 @@ pub struct Client {
     /// Overall budget across all attempts of one [`Client::request`].
     deadline: Option<Duration>,
     rng: DetRng,
+    /// Trace-id stream, decoupled from the backoff jitter stream so
+    /// enabling tracing never shifts the documented sleep schedule.
+    trace_rng: DetRng,
+    trace: WallTraceSink,
 }
+
+/// Domain-separation constant for the client's trace-id rng: the same
+/// policy seed feeds both streams without ever correlating them.
+const TRACE_SEED_SALT: u64 = 0x7472_6163_655F_6964; // "trace_id"
 
 impl Client {
     /// A client with default retry policy and no deadline.
@@ -128,7 +141,23 @@ impl Client {
     /// A client with an explicit policy.
     pub fn with_policy(addr: SocketAddr, policy: RetryPolicy) -> Client {
         let rng = DetRng::new(policy.seed);
-        Client { addr, policy, deadline: None, rng }
+        let trace_rng = DetRng::new(policy.seed ^ TRACE_SEED_SALT);
+        Client { addr, policy, deadline: None, rng, trace_rng, trace: WallTraceSink::disabled() }
+    }
+
+    /// Enable request tracing: every [`Client::request`] draws a fresh
+    /// deterministic trace id, sends the context with the request frame,
+    /// and records its own client-side span into `sink` (process track
+    /// [`CLIENT_PID`]). Untraced clients are wire-identical to pre-trace
+    /// builds.
+    pub fn with_trace(mut self, sink: WallTraceSink) -> Client {
+        self.trace = sink;
+        self
+    }
+
+    /// The client's span sink (for exporting after a traced run).
+    pub fn trace_sink(&self) -> &WallTraceSink {
+        &self.trace
     }
 
     /// Bound the total wall time of each [`Client::request`] call
@@ -142,13 +171,45 @@ impl Client {
     /// Issue one request, retrying per the policy. Returns the daemon's
     /// reply (which may itself be a *terminal* [`ServeReply::Err`] —
     /// those are surfaced as [`ClientError::Server`]).
+    ///
+    /// With tracing enabled the whole call (attempts + backoffs) is one
+    /// client span; the daemon's spans for the winning attempt parent
+    /// onto it through the wire context.
     pub fn request(&mut self, req: &ServeRequest) -> Result<ServeReply, ClientError> {
+        let traced = if self.trace.is_enabled() {
+            let root = TraceContext::root(&mut self.trace_rng);
+            let (span, wire_ctx) = root.child(1);
+            Some((root, span, wire_ctx))
+        } else {
+            None
+        };
+        let started = Instant::now();
+        let result = self.request_inner(req, traced.as_ref().map(|(_, _, c)| *c));
+        if let Some((root, span, _)) = traced {
+            self.trace.record_traced(
+                format!("request {}", req.kind()),
+                cat::SERVE_REQUEST,
+                CLIENT_PID,
+                0,
+                started,
+                Some(&root),
+                span,
+            );
+        }
+        result
+    }
+
+    fn request_inner(
+        &mut self,
+        req: &ServeRequest,
+        ctx: Option<TraceContext>,
+    ) -> Result<ServeReply, ClientError> {
         let deadline = Deadline::start(self.deadline);
         let mut last = String::new();
         let mut attempts = 0;
         for k in 0..self.policy.max_attempts.max(1) {
             attempts = k + 1;
-            match self.attempt(req, deadline) {
+            match self.attempt(req, ctx.as_ref(), deadline) {
                 Ok(ServeReply::Err(e)) if e.retryable() => last = e.to_string(),
                 Ok(ServeReply::Err(e)) => return Err(ClientError::Server(e)),
                 Ok(reply) => return Ok(reply),
@@ -167,26 +228,29 @@ impl Client {
         Err(ClientError::Exhausted { attempts, last })
     }
 
-    fn attempt(&self, req: &ServeRequest, deadline: Deadline) -> io::Result<ServeReply> {
+    fn attempt(
+        &self,
+        req: &ServeRequest,
+        ctx: Option<&TraceContext>,
+        deadline: Deadline,
+    ) -> io::Result<ServeReply> {
         let remaining = deadline
             .remaining_or(Duration::from_secs(3600))
             .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "client deadline spent"))?;
         let mut stream = TcpStream::connect_timeout(&self.addr, remaining)?;
         stream.set_read_timeout(Some(remaining))?;
         stream.set_write_timeout(Some(remaining))?;
-        write_json(&mut stream, req)?;
+        write_json_ctx(&mut stream, ctx, req)?;
         read_json::<ServeReply>(&mut stream)
     }
 }
 
-/// Scrape the daemon's live Prometheus exposition: a plain
-/// `GET /metrics` against the same port planning traffic uses. Returns
-/// the response body.
-pub fn fetch_metrics(addr: SocketAddr) -> io::Result<String> {
+/// One bounded `GET` against the daemon's HTTP plane; returns the body.
+fn fetch_path(addr: SocketAddr, path: &str) -> io::Result<String> {
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     use io::Write;
-    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: dt-serve\r\n\r\n")?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: dt-serve\r\n\r\n").as_bytes())?;
     let mut response = String::new();
     io::Read::read_to_string(&mut stream, &mut response)?;
     let (head, body) = response
@@ -197,6 +261,25 @@ pub fn fetch_metrics(addr: SocketAddr) -> io::Result<String> {
         return Err(io::Error::other(format!("scrape failed: {status}")));
     }
     Ok(body.to_string())
+}
+
+/// Scrape the daemon's live Prometheus exposition: a plain
+/// `GET /metrics` against the same port planning traffic uses. Returns
+/// the response body.
+pub fn fetch_metrics(addr: SocketAddr) -> io::Result<String> {
+    fetch_path(addr, "/metrics")
+}
+
+/// Fetch the daemon's flight-recorder dumps (`GET /flight`) as JSON text.
+pub fn fetch_flight(addr: SocketAddr) -> io::Result<String> {
+    fetch_path(addr, "/flight")
+}
+
+/// Fetch the daemon's spans (`GET /trace`) as Chrome-trace JSON on the
+/// unix-epoch timebase, ready to merge with local spans via
+/// [`TraceRecorder::absorb`](dt_simengine::TraceRecorder::absorb).
+pub fn fetch_trace(addr: SocketAddr) -> io::Result<String> {
+    fetch_path(addr, "/trace")
 }
 
 #[cfg(test)]

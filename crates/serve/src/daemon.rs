@@ -40,14 +40,26 @@ use crate::store::{task_for, PlanStore};
 use disttrain_core::{SystemKind, TrainingTask};
 use dt_orchestrator::{Orchestrator, PlanReport, DEFAULT_TOP_K};
 use dt_parallel::plan::ModulePlan;
-use dt_preprocess::frame::{read_json, write_json};
-use dt_telemetry::{names, Telemetry};
+use dt_preprocess::frame::{read_json_ctx, write_json};
+use dt_simengine::trace::{cat, TraceContext, WallTraceSink};
+use dt_telemetry::flight::DEFAULT_RING_CAPACITY;
+use dt_telemetry::{names, FlightLog, FlightRecorder, Telemetry};
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Chrome-trace process id for the daemon's admission/worker plane.
+/// Distinct from the preprocessing plane ids (1000/1001) so merged
+/// cross-plane traces keep separate tracks.
+pub const SERVE_PID: u64 = 2_000;
+
+/// Chrome-trace process id for the warm plan store — its own logical
+/// plane, so a request's store hit shows up as a third track in the
+/// assembled trace tree.
+pub const STORE_PID: u64 = 2_500;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -71,6 +83,13 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
     /// Metrics sink (shared with the HTTP `/metrics` endpoint).
     pub telemetry: Telemetry,
+    /// Wall-clock span sink for request-scoped tracing (shared with the
+    /// HTTP `/trace` endpoint). Disabled by default: library embedders
+    /// pay nothing; `repro serve` flips it on.
+    pub trace: WallTraceSink,
+    /// Flight-recorder dump log (shared with the HTTP `/flight`
+    /// endpoint). Disabled by default, like tracing.
+    pub flight: FlightLog,
     /// Test hook: extra busy-work per job, so overload tests can fill the
     /// queue deterministically. `None` in production.
     pub worker_delay: Option<Duration>,
@@ -87,6 +106,8 @@ impl Default for ServeConfig {
             max_iterations: 8,
             default_deadline: None,
             telemetry: Telemetry::enabled(),
+            trace: WallTraceSink::disabled(),
+            flight: FlightLog::disabled(),
             worker_delay: None,
         }
     }
@@ -98,12 +119,18 @@ struct Job {
     admitted: Instant,
     deadline: Option<Duration>,
     reply: mpsc::Sender<ServeReply>,
+    /// Trace context the client sent with the request, if any. The
+    /// worker's queue/exec/store spans hang off it.
+    ctx: Option<TraceContext>,
 }
 
 /// Shared daemon state.
 struct Shared {
     store: PlanStore,
     telemetry: Telemetry,
+    trace: WallTraceSink,
+    flight: FlightLog,
+    started: Instant,
     queue_len: AtomicI64,
     stop: AtomicBool,
     cfg: ServeConfig,
@@ -151,6 +178,9 @@ impl ServeHandle {
         let shared = Arc::new(Shared {
             store: PlanStore::new(),
             telemetry: cfg.telemetry.clone(),
+            trace: cfg.trace.clone(),
+            flight: cfg.flight.clone(),
+            started: Instant::now(),
             queue_len: AtomicI64::new(0),
             stop: AtomicBool::new(false),
             cfg: cfg.clone(),
@@ -165,7 +195,7 @@ impl ServeHandle {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("dt-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &shared))
+                    .spawn(move || worker_loop(&rx, &shared, i as u64))
             })
             .collect::<io::Result<Vec<_>>>()?;
 
@@ -248,6 +278,15 @@ impl Drop for ServeHandle {
     }
 }
 
+/// Dump a session's flight ring and count it, one label per trigger.
+fn flight_dump(flight: &FlightRecorder, tel: &Telemetry, reason: &'static str) {
+    if !flight.is_enabled() {
+        return;
+    }
+    flight.dump(reason);
+    tel.with(|r| r.counter(names::FLIGHT_DUMPS_TOTAL, &[("reason", reason)]).inc());
+}
+
 /// One client connection: requests until the peer closes, shutdown, or a
 /// malformed frame.
 fn serve_session(
@@ -256,6 +295,11 @@ fn serve_session(
     tx: &SyncSender<Job>,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let session = stream
+        .peer_addr()
+        .map(|a| format!("serve:{a}"))
+        .unwrap_or_else(|_| "serve:?".to_string());
+    let flight = shared.flight.recorder(&session, DEFAULT_RING_CAPACITY);
     loop {
         // Poll the stop flag between requests; `peek` never consumes
         // bytes, so the timeout cannot desynchronize framing.
@@ -275,14 +319,25 @@ fn serve_session(
         // legitimate frame start here (it would claim a ~542 MB control
         // message), so dispatch on the first four bytes.
         if peeked == 4 && &probe == b"GET " {
-            return http::serve_http(stream, shared.telemetry.clone());
+            return http::serve_http(
+                stream,
+                http::HttpState {
+                    telemetry: shared.telemetry.clone(),
+                    trace: shared.trace.clone(),
+                    flight: shared.flight.clone(),
+                    started: shared.started,
+                },
+            );
         }
-        let req: ServeRequest = match read_json(stream) {
-            Ok(req) => req,
+        let (ctx, req): (Option<TraceContext>, ServeRequest) = match read_json_ctx(stream) {
+            Ok(pair) => pair,
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Typed reply, then close: after garbage the stream offset
-                // is untrustworthy.
+                // is untrustworthy. The flight ring freezes at this
+                // moment — the dump is the black box for this session.
                 record_rejection(&shared.telemetry, "malformed");
+                flight.record("malformed", 0, || e.to_string());
+                flight_dump(&flight, &shared.telemetry, "malformed");
                 let reply =
                     ServeReply::Err(ServeError::Malformed { reason: e.to_string() });
                 let _ = write_json(stream, &reply);
@@ -290,18 +345,29 @@ fn serve_session(
             }
             Err(e) => return Err(e),
         };
+        let trace_id = ctx.map(|c| c.trace_id).unwrap_or(0);
+        flight.record("request", trace_id, || req.kind().to_string());
         if shared.stop.load(Ordering::SeqCst) && !matches!(req, ServeRequest::Shutdown) {
             write_json(stream, &ServeReply::Err(ServeError::ShuttingDown))?;
             return Ok(());
         }
-        match admit(&req, shared, tx) {
-            Admitted::Inline(reply) => write_json(stream, &reply)?,
+        match admit(&req, ctx, shared, tx) {
+            Admitted::Inline(reply) => {
+                if matches!(reply, ServeReply::Err(ServeError::Overloaded { .. })) {
+                    flight.record("overloaded", trace_id, || req.kind().to_string());
+                    flight_dump(&flight, &shared.telemetry, "overloaded");
+                }
+                write_json(stream, &reply)?
+            }
             Admitted::Queued(reply_rx) => {
                 // Blocking here is what guarantees the drain invariant:
                 // this session cannot exit before its job is answered.
                 let reply = reply_rx
                     .recv()
                     .unwrap_or(ServeReply::Err(ServeError::ShuttingDown));
+                let outcome =
+                    if matches!(reply, ServeReply::Err(_)) { "error" } else { "ok" };
+                flight.record("reply", trace_id, || outcome.to_string());
                 write_json(stream, &reply)?;
             }
         }
@@ -316,7 +382,12 @@ enum Admitted {
 }
 
 /// Admission control: validate, stamp, and try to enqueue.
-fn admit(req: &ServeRequest, shared: &Shared, tx: &SyncSender<Job>) -> Admitted {
+fn admit(
+    req: &ServeRequest,
+    ctx: Option<TraceContext>,
+    shared: &Shared,
+    tx: &SyncSender<Job>,
+) -> Admitted {
     if matches!(req, ServeRequest::Ping) {
         shared.telemetry.with(|r| {
             r.counter(names::SERVE_REQUESTS_TOTAL, &[("kind", "ping"), ("outcome", "ok")]).inc()
@@ -340,7 +411,7 @@ fn admit(req: &ServeRequest, shared: &Shared, tx: &SyncSender<Job>) -> Admitted 
         ms => Some(Duration::from_millis(ms)),
     };
     let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job { req: req.clone(), admitted: Instant::now(), deadline, reply: reply_tx };
+    let job = Job { req: req.clone(), admitted: Instant::now(), deadline, reply: reply_tx, ctx };
     match tx.try_send(job) {
         Ok(()) => {
             shared.queue_gauge(1);
@@ -405,7 +476,7 @@ fn record_rejection(tel: &Telemetry, reason: &str) {
 }
 
 /// Worker: dequeue, expire, execute, reply.
-fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared, worker: u64) {
     loop {
         let job = match rx.lock().expect("queue lock").recv() {
             Ok(job) => job,
@@ -413,6 +484,19 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
         };
         shared.queue_gauge(-1);
         let kind = job.req.kind();
+        // The queue span covers admission → dequeue: exactly the wait the
+        // deadline check below charges against the request.
+        if let Some(ctx) = &job.ctx {
+            shared.trace.record_traced(
+                format!("queue {kind}"),
+                cat::SERVE_QUEUE,
+                SERVE_PID,
+                worker,
+                job.admitted,
+                Some(ctx),
+                ctx.span_id(1),
+            );
+        }
         let waited = job.admitted.elapsed();
         if let Some(deadline) = job.deadline {
             if waited > deadline {
@@ -426,36 +510,55 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
         if let Some(delay) = shared.cfg.worker_delay {
             std::thread::sleep(delay);
         }
-        let reply = execute(&job.req, shared);
+        // The exec span parents everything the request does inside the
+        // daemon; the store span (possibly on another "process" track)
+        // hangs off it via `exec_ctx`.
+        let exec = job.ctx.map(|c| c.child(2));
+        let exec_started = Instant::now();
+        let reply = execute(&job.req, exec.map(|(_, c)| c), shared);
+        if let (Some(ctx), Some((exec_id, _))) = (&job.ctx, exec) {
+            shared.trace.record_traced(
+                format!("exec {kind}"),
+                cat::SERVE_EXEC,
+                SERVE_PID,
+                worker,
+                exec_started,
+                Some(ctx),
+                exec_id,
+            );
+        }
         let outcome = if matches!(reply, ServeReply::Err(_)) { "error" } else { "ok" };
+        let trace_id = job.ctx.map(|c| c.trace_id).unwrap_or(0);
         shared.telemetry.with(|r| {
             r.counter(names::SERVE_REQUESTS_TOTAL, &[("kind", kind), ("outcome", outcome)]).inc();
             r.histogram(names::SERVE_REQUEST_SECONDS, &[("kind", kind)])
-                .observe(job.admitted.elapsed().as_secs_f64());
+                .observe_traced(job.admitted.elapsed().as_secs_f64(), trace_id);
         });
         let _ = job.reply.send(reply);
     }
 }
 
-/// Execute one admitted request against the shared warm store.
-fn execute(req: &ServeRequest, shared: &Shared) -> ServeReply {
+/// Execute one admitted request against the shared warm store. `ctx`, if
+/// present, is the worker's exec-span context: store spans become its
+/// children.
+fn execute(req: &ServeRequest, ctx: Option<TraceContext>, shared: &Shared) -> ServeReply {
     match req {
         // Ping/shutdown are answered inline at admission; these arms only
         // exist for exhaustiveness.
         ServeRequest::Ping => ServeReply::Pong,
         ServeRequest::Shutdown => ServeReply::Bye,
-        ServeRequest::Plan { spec, budget, .. } => match plan(spec, None, *budget, shared) {
+        ServeRequest::Plan { spec, budget, .. } => match plan(spec, None, *budget, ctx, shared) {
             Ok(summary) => ServeReply::Plan(summary),
             Err(e) => ServeReply::Err(e),
         },
         ServeRequest::Replan { spec, remaining_gpus, budget, .. } => {
-            match plan(spec, Some(*remaining_gpus), *budget, shared) {
+            match plan(spec, Some(*remaining_gpus), *budget, ctx, shared) {
                 Ok(summary) => ServeReply::Plan(summary),
                 Err(e) => ServeReply::Err(e),
             }
         }
         ServeRequest::Simulate { spec, iterations, .. } => {
-            match simulate(spec, *iterations, shared) {
+            match simulate(spec, *iterations, ctx, shared) {
                 Ok(summary) => ServeReply::Sim(summary),
                 Err(e) => ServeReply::Err(e),
             }
@@ -499,11 +602,12 @@ fn plan(
     spec: &SpecDesc,
     shrink_to: Option<u32>,
     budget: u32,
+    ctx: Option<TraceContext>,
     shared: &Shared,
 ) -> Result<PlanSummary, ServeError> {
     let task =
         task_for(spec).ok_or_else(|| ServeError::BadRequest { reason: "unknown preset".into() })?;
-    let (report, warm) = search(spec, &task, shrink_to, budget, shared)?;
+    let (report, warm) = search(spec, &task, shrink_to, budget, ctx, shared)?;
     Ok(summarize(&report, warm))
 }
 
@@ -512,10 +616,25 @@ fn search(
     task: &TrainingTask,
     shrink_to: Option<u32>,
     budget: u32,
+    ctx: Option<TraceContext>,
     shared: &Shared,
 ) -> Result<(PlanReport, bool), ServeError> {
     let top_k = budget.clamp(1, shared.cfg.max_budget) as usize;
+    let store_started = Instant::now();
     let (entry, warm) = shared.store.get_or_build(&spec.fingerprint(), task);
+    if let Some(ctx) = &ctx {
+        // The warm store is its own track in the assembled trace: a hit
+        // shows as a sliver, a cold build as the profiling+table cost.
+        shared.trace.record_traced(
+            if warm { "store hit" } else { "store build" },
+            cat::SERVE_STORE,
+            STORE_PID,
+            0,
+            store_started,
+            Some(ctx),
+            ctx.span_id(1),
+        );
+    }
     record_store(shared, warm);
     let mut guard = entry.lock().expect("entry lock");
     let orch = Orchestrator::builder()
@@ -542,11 +661,12 @@ fn search(
 fn simulate(
     spec: &SpecDesc,
     iterations: u32,
+    ctx: Option<TraceContext>,
     shared: &Shared,
 ) -> Result<SimSummary, ServeError> {
     let task =
         task_for(spec).ok_or_else(|| ServeError::BadRequest { reason: "unknown preset".into() })?;
-    let (report, warm) = search(spec, &task, None, 1, shared)?;
+    let (report, warm) = search(spec, &task, None, 1, ctx, shared)?;
     let cfg = task.runtime_config(SystemKind::DistTrain, iterations);
     let training = task.run_with_plan(report.plan, cfg);
     Ok(SimSummary {

@@ -1,5 +1,5 @@
-//! A deliberately tiny HTTP/1.0 responder for the live `/metrics`
-//! endpoint.
+//! A deliberately tiny HTTP/1.0 responder for the live observability
+//! endpoints.
 //!
 //! The daemon speaks two protocols on one port: length-prefixed frames
 //! for planning traffic, and plain HTTP for observability scrapes. The
@@ -9,19 +9,44 @@
 //! scraper, `curl`, or a browser just works against the same address
 //! clients plan against.
 //!
+//! Three endpoints, one story:
+//!
+//! * `GET /metrics` — Prometheus exposition (plus `dt_build_info` and
+//!   `dt_uptime_seconds`, stamped fresh per scrape).
+//! * `GET /trace` — the daemon's wall-clock spans as Chrome-trace JSON
+//!   on a unix-epoch timebase, so a client can merge them with its own
+//!   spans into one cross-process trace tree.
+//! * `GET /flight` — the black-box flight recorder: every dump frozen so
+//!   far, as JSON.
+//!
 //! Only `GET` is answered, the request head is read with a hard 8 KiB
 //! bound, and every connection is closed after one response — this is an
 //! exposition endpoint, not a web server.
 
-use dt_telemetry::{names, Telemetry};
+use dt_simengine::WallTraceSink;
+use dt_telemetry::{names, record_build_info, FlightLog, Telemetry};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Most header bytes read before giving up on a request head.
 const MAX_HEAD: usize = 8 * 1024;
 
+/// Everything the HTTP plane exposes, cloned out of the daemon's shared
+/// state per connection (all handles are cheap `Arc` views).
+pub struct HttpState {
+    /// Metrics registry behind `/metrics`.
+    pub telemetry: Telemetry,
+    /// Span sink behind `/trace`.
+    pub trace: WallTraceSink,
+    /// Flight-recorder log behind `/flight`.
+    pub flight: FlightLog,
+    /// Daemon start, for the `dt_uptime_seconds` gauge.
+    pub started: Instant,
+}
+
 /// Serve exactly one HTTP exchange on `stream`, then close.
-pub fn serve_http(stream: &mut TcpStream, telemetry: Telemetry) -> io::Result<()> {
+pub fn serve_http(stream: &mut TcpStream, state: HttpState) -> io::Result<()> {
     let head = match read_head(stream) {
         Ok(head) => head,
         Err(_) => {
@@ -41,9 +66,18 @@ pub fn serve_http(stream: &mut TcpStream, telemetry: Telemetry) -> io::Result<()
         });
     match path.as_deref() {
         Some("/metrics") => {
-            telemetry.with(|r| r.counter(names::SERVE_SCRAPES_TOTAL, &[]).inc());
-            let body = telemetry.snapshot().to_prometheus_text();
+            state.telemetry.with(|r| r.counter(names::SERVE_SCRAPES_TOTAL, &[]).inc());
+            record_build_info(&state.telemetry, state.started.elapsed().as_secs_f64());
+            let body = state.telemetry.snapshot().to_prometheus_text();
             respond(stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        Some("/trace") => {
+            let body = state.trace.unix_recorder().to_chrome_json();
+            respond(stream, 200, "application/json", &body)
+        }
+        Some("/flight") => {
+            let body = state.flight.to_json().to_string();
+            respond(stream, 200, "application/json", &body)
         }
         Some("/healthz") => respond(stream, 200, "text/plain", "ok\n"),
         Some(_) => respond(stream, 404, "text/plain", "not found\n"),

@@ -278,6 +278,83 @@ fn seeded_retry_jitter_is_reproducible_end_to_end() {
 }
 
 #[test]
+fn traced_round_trip_assembles_a_cross_process_span_tree() {
+    use dt_serve::client::{fetch_flight, fetch_trace, CLIENT_PID};
+    use dt_serve::daemon::{SERVE_PID, STORE_PID};
+    use dt_simengine::trace::arg;
+    use dt_simengine::{TraceRecorder, WallTraceSink};
+
+    let cfg = quiet(ServeConfig {
+        trace: WallTraceSink::new(),
+        flight: dt_telemetry::FlightLog::new(),
+        ..ServeConfig::default()
+    });
+    let daemon = ServeHandle::spawn(cfg).expect("spawn");
+    let addr = daemon.addr;
+    let mut client = Client::new(addr).with_trace(WallTraceSink::new());
+    match client.request(&plan_req(1)).expect("traced plan") {
+        ServeReply::Plan(_) => {}
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // Merge the daemon's spans (fetched over HTTP on the unix timebase)
+    // with the client's own — the deployment workflow `repro client plan
+    // --trace` automates.
+    let remote = fetch_trace(addr).expect("GET /trace");
+    let mut merged = TraceRecorder::from_chrome_json(&remote).expect("parse remote trace");
+    merged.absorb(client.trace_sink().unix_recorder());
+
+    // One trace id across every linked span, on at least three process
+    // tracks: client, daemon worker, warm store.
+    let traced: Vec<_> = merged.spans().iter().filter(|s| s.trace_arg().is_some()).collect();
+    let ids: std::collections::BTreeSet<_> =
+        traced.iter().filter_map(|s| s.trace_arg()).collect();
+    assert_eq!(ids.len(), 1, "one request, one trace id: {ids:?}");
+    let pids: std::collections::BTreeSet<u64> = traced.iter().map(|s| s.pid).collect();
+    for pid in [CLIENT_PID, SERVE_PID, STORE_PID] {
+        assert!(pids.contains(&pid), "missing process track {pid} in {pids:?}");
+    }
+    // Every non-root span's parent is some span in the assembled tree —
+    // the property that makes it a tree rather than a bag of spans.
+    let spans: std::collections::BTreeSet<&str> = traced
+        .iter()
+        .filter_map(|s| s.args.iter().find(|(k, _)| *k == arg::SPAN).map(|(_, v)| v.as_str()))
+        .collect();
+    let zero = dt_simengine::trace::hex_id(0);
+    for s in &traced {
+        let parent = s.args.iter().find(|(k, _)| *k == arg::PARENT).map(|(_, v)| v.as_str());
+        if let Some(p) = parent {
+            assert!(
+                p == zero || spans.contains(p),
+                "span {:?} has dangling parent {p}",
+                s.name
+            );
+        }
+    }
+
+    // No dumps yet; a garbage frame freezes the session's black box and
+    // `/flight` serves it.
+    assert!(fetch_flight(addr).expect("GET /flight").contains("\"dumps_total\":0"));
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    write_frame(&mut stream, b"garbage that is not a request").expect("write");
+    let _ = read_json::<ServeReply>(&mut stream);
+    let flight = fetch_flight(addr).expect("GET /flight after malformed");
+    assert!(flight.contains("\"dumps_total\":1"), "dump not recorded: {flight}");
+    assert!(flight.contains("\"reason\":\"malformed\""), "wrong reason: {flight}");
+}
+
+#[test]
+fn build_info_and_uptime_ride_the_metrics_endpoint() {
+    let daemon = ServeHandle::spawn(ServeConfig::default()).expect("spawn");
+    let body = dt_serve::fetch_metrics(daemon.addr).expect("scrape");
+    assert!(body.contains("dt_build_info{"), "missing dt_build_info: {body}");
+    assert!(body.contains("version=\""), "build info lacks version label");
+    assert!(body.contains("git_hash=\""), "build info lacks git_hash label");
+    assert!(body.contains("dt_uptime_seconds"), "missing dt_uptime_seconds");
+}
+
+#[test]
 fn invalid_specs_are_rejected_at_admission_with_reasons() {
     let daemon = ServeHandle::spawn(quiet(ServeConfig::default())).expect("spawn");
     let bad = ServeRequest::Plan {

@@ -45,4 +45,4 @@ pub use event::{EventQueue, Simulator};
 pub use json::Json;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceRecorder, TraceSpan};
+pub use trace::{TraceContext, TraceRecorder, TraceSpan, WallTraceSink};

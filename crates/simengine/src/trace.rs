@@ -39,6 +39,7 @@
 //! ```
 
 use crate::json::Json;
+use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 use std::io;
 use std::path::Path;
@@ -77,6 +78,105 @@ pub mod cat {
     /// Elastic re-orchestration: re-solving the §4 plan for a shrunk
     /// cluster and re-sharding state onto it.
     pub const REORCH: &str = "elastic.reorch";
+    /// Planner service: one client request, end to end (client side).
+    pub const SERVE_REQUEST: &str = "serve.request";
+    /// Planner service: time a request spent in the admission queue.
+    pub const SERVE_QUEUE: &str = "serve.queue";
+    /// Planner service: worker execution of one request.
+    pub const SERVE_EXEC: &str = "serve.exec";
+    /// Planner service: warm-plan store lookup/build.
+    pub const SERVE_STORE: &str = "serve.store";
+}
+
+/// Span-arg keys used for cross-process trace linkage. These are the only
+/// args [`TraceRecorder::from_chrome_json`] preserves on re-import, so a
+/// trace tree assembled from several processes keeps its edges.
+pub mod arg {
+    /// Hex trace id shared by every span of one logical request.
+    pub const TRACE: &str = "trace";
+    /// Hex id of this span.
+    pub const SPAN: &str = "span";
+    /// Hex id of this span's causal parent (possibly in another process).
+    pub const PARENT: &str = "parent";
+}
+
+/// Render an id the way trace args carry it (16 hex digits, stable across
+/// processes and platforms).
+pub fn hex_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Request-scoped trace context: which trace a piece of work belongs to
+/// and which span caused it. Sixteen bytes on the wire
+/// ([`TraceContext::encode`]), derived deterministically from a
+/// [`DetRng`] so a seeded run always produces the same ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identifies the whole request tree (never 0).
+    pub trace_id: u64,
+    /// The span on whose behalf this work runs (0 for a root).
+    pub parent_span: u64,
+}
+
+/// Encoded wire size of a [`TraceContext`].
+pub const TRACE_CONTEXT_LEN: usize = 16;
+
+impl TraceContext {
+    /// A fresh root context with a deterministic trace id drawn from `rng`
+    /// (re-drawn in the astronomically unlikely zero case so 0 can mean
+    /// "no trace" everywhere).
+    pub fn root(rng: &mut DetRng) -> TraceContext {
+        let mut trace_id = rng.next_u64();
+        while trace_id == 0 {
+            trace_id = rng.next_u64();
+        }
+        TraceContext { trace_id, parent_span: 0 }
+    }
+
+    /// Deterministic id for the `seq`-th span opened under this context:
+    /// a SplitMix64 finalizer over (trace, parent, seq), so every process
+    /// derives the same ids for the same causal position without
+    /// coordination.
+    pub fn span_id(&self, seq: u64) -> u64 {
+        let mut z = self
+            .trace_id
+            .wrapping_add(self.parent_span.rotate_left(17))
+            .wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let id = z ^ (z >> 31);
+        if id == 0 { 1 } else { id }
+    }
+
+    /// Open the `seq`-th child span: returns its id plus the context to
+    /// hand to work done on its behalf (same trace, this span as parent).
+    pub fn child(&self, seq: u64) -> (u64, TraceContext) {
+        let id = self.span_id(seq);
+        (id, TraceContext { trace_id: self.trace_id, parent_span: id })
+    }
+
+    /// Fixed-size little-endian wire encoding (trace id, then parent).
+    pub fn encode(&self) -> [u8; TRACE_CONTEXT_LEN] {
+        let mut out = [0u8; TRACE_CONTEXT_LEN];
+        out[..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..].copy_from_slice(&self.parent_span.to_le_bytes());
+        out
+    }
+
+    /// Decode [`encode`](Self::encode)'s output. `None` on any length or
+    /// content mismatch (a zero trace id is not a valid context) — hostile
+    /// bytes must never panic.
+    pub fn decode(bytes: &[u8]) -> Option<TraceContext> {
+        if bytes.len() != TRACE_CONTEXT_LEN {
+            return None;
+        }
+        let trace_id = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+        let parent_span = u64::from_le_bytes(bytes[8..].try_into().ok()?);
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceContext { trace_id, parent_span })
+    }
 }
 
 /// One labelled interval on the trace clock.
@@ -116,6 +216,19 @@ impl TraceSpan {
     pub fn with_arg(mut self, key: &'static str, value: impl Into<String>) -> Self {
         self.args.push((key, value.into()));
         self
+    }
+
+    /// Attach the trace-linkage args ([`arg::TRACE`], [`arg::SPAN`],
+    /// [`arg::PARENT`]) for a span with id `span_id` opened under `ctx`.
+    pub fn with_context(self, ctx: &TraceContext, span_id: u64) -> Self {
+        self.with_arg(arg::TRACE, hex_id(ctx.trace_id))
+            .with_arg(arg::SPAN, hex_id(span_id))
+            .with_arg(arg::PARENT, hex_id(ctx.parent_span))
+    }
+
+    /// The hex trace id riding in this span's args, if any.
+    pub fn trace_arg(&self) -> Option<&str> {
+        self.args.iter().find(|(k, _)| *k == arg::TRACE).map(|(_, v)| v.as_str())
     }
 
     /// End instant.
@@ -203,6 +316,17 @@ impl TraceRecorder {
     pub fn absorb(&mut self, other: TraceRecorder) {
         if let (Some(mine), Some(theirs)) = (&mut self.spans, other.spans) {
             mine.extend(theirs);
+        }
+    }
+
+    /// Keep at most `cap` spans, evicting the oldest-recorded first. Used
+    /// by long-lived daemons so an always-on trace buffer stays bounded.
+    pub fn evict_to(&mut self, cap: usize) {
+        if let Some(spans) = &mut self.spans {
+            if spans.len() > cap {
+                let excess = spans.len() - cap;
+                spans.drain(..excess);
+            }
         }
     }
 
@@ -333,18 +457,32 @@ impl TraceRecorder {
             }
             let field_u64 = |k: &str| ev.get(k).and_then(Json::as_u64);
             let args = ev.get("args").ok_or("span missing args")?;
+            // Trace-linkage args survive the round trip; everything else
+            // (including the exact-time duplicates) is re-derived.
+            let mut kept: Vec<(&'static str, String)> = Vec::new();
+            for key in [arg::TRACE, arg::SPAN, arg::PARENT] {
+                if let Some(v) = args.get(key).and_then(Json::as_str) {
+                    kept.push((key, v.to_string()));
+                }
+            }
+            // Exact nanoseconds when they fit a JSON number (< 2^53);
+            // otherwise fall back to the standard microsecond fields —
+            // unix-epoch timebases (the `/trace` endpoint) land here, and
+            // sub-microsecond exactness is meaningless across host
+            // clocks anyway.
+            let time_ns = |exact: &str, std: &str| -> Option<u64> {
+                args.get(exact).and_then(Json::as_u64).or_else(|| {
+                    ev.get(std).and_then(Json::as_f64).map(|us| (us * 1e3).round() as u64)
+                })
+            };
             let span = TraceSpan {
                 name: ev.get("name").and_then(Json::as_str).unwrap_or("").to_string(),
                 cat: cat_from_str(ev.get("cat").and_then(Json::as_str).unwrap_or("")),
                 pid: field_u64("pid").ok_or("span missing pid")?,
                 tid: field_u64("tid").ok_or("span missing tid")?,
-                start: SimTime::from_nanos(
-                    args.get("start_ns").and_then(Json::as_u64).ok_or("missing start_ns")?,
-                ),
-                dur: SimDuration::from_nanos(
-                    args.get("dur_ns").and_then(Json::as_u64).ok_or("missing dur_ns")?,
-                ),
-                args: Vec::new(),
+                start: SimTime::from_nanos(time_ns("start_ns", "ts").ok_or("missing start_ns")?),
+                dur: SimDuration::from_nanos(time_ns("dur_ns", "dur").ok_or("missing dur_ns")?),
+                args: kept,
             };
             rec.record(span);
         }
@@ -367,18 +505,34 @@ fn cat_from_str(s: &str) -> &'static str {
         "preprocess.fetch" => cat::PRE_FETCH,
         "preprocess.decode" => cat::PRE_DECODE,
         "preprocess.feed" => cat::PRE_FEED,
+        "serve.request" => cat::SERVE_REQUEST,
+        "serve.queue" => cat::SERVE_QUEUE,
+        "serve.exec" => cat::SERVE_EXEC,
+        "serve.store" => cat::SERVE_STORE,
         _ => "other",
     }
 }
 
 /// A thread-safe wall-clock sink for components that run on real threads
-/// (the preprocessing producer/consumer service). Wall time since the
-/// sink's creation maps to the trace clock nanosecond-for-nanosecond.
+/// (the preprocessing producer/consumer service and the planner daemon).
+/// Wall time since the sink's creation maps to the trace clock
+/// nanosecond-for-nanosecond; a unix-epoch anchor captured at creation
+/// lets traces from several processes merge onto one clock
+/// ([`unix_recorder`](Self::unix_recorder)). A disabled sink
+/// ([`WallTraceSink::disabled`]) never allocates: [`record`](Self::record)
+/// returns before the span name is even converted.
 #[derive(Debug, Clone)]
 pub struct WallTraceSink {
-    rec: Arc<Mutex<TraceRecorder>>,
+    rec: Option<Arc<Mutex<TraceRecorder>>>,
     epoch: Instant,
+    /// Nanoseconds between the unix epoch and `epoch`, for clock merging.
+    unix_anchor_ns: u64,
+    /// Oldest-first eviction bound on the span buffer.
+    max_spans: usize,
 }
+
+/// Default span-buffer bound for long-lived sinks.
+pub const WALL_SINK_DEFAULT_CAP: usize = 65_536;
 
 impl Default for WallTraceSink {
     fn default() -> Self {
@@ -389,7 +543,38 @@ impl Default for WallTraceSink {
 impl WallTraceSink {
     /// Create an enabled sink; its epoch (trace t=0) is "now".
     pub fn new() -> Self {
-        WallTraceSink { rec: Arc::new(Mutex::new(TraceRecorder::enabled())), epoch: Instant::now() }
+        let unix_anchor_ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        WallTraceSink {
+            rec: Some(Arc::new(Mutex::new(TraceRecorder::enabled()))),
+            epoch: Instant::now(),
+            unix_anchor_ns,
+            max_spans: WALL_SINK_DEFAULT_CAP,
+        }
+    }
+
+    /// A sink that drops everything at zero cost (the default for library
+    /// embedders; services flip it on with a flag).
+    pub fn disabled() -> Self {
+        WallTraceSink {
+            rec: None,
+            epoch: Instant::now(),
+            unix_anchor_ns: 0,
+            max_spans: WALL_SINK_DEFAULT_CAP,
+        }
+    }
+
+    /// Bound the span buffer (oldest spans evicted first). Builder-style.
+    pub fn with_capacity(mut self, max_spans: usize) -> Self {
+        self.max_spans = max_spans.max(1);
+        self
+    }
+
+    /// `true` when spans are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_some()
     }
 
     /// Record a span covering `[started, Instant::now())`.
@@ -401,9 +586,28 @@ impl WallTraceSink {
         tid: u64,
         started: Instant,
     ) {
+        self.record_traced(name, category, pid, tid, started, None, 0);
+    }
+
+    /// Record a span covering `[started, Instant::now())`, annotated with
+    /// trace-linkage args when `ctx` is present (`span_id` is this span's
+    /// own id, normally `ctx.span_id(seq)` for some deterministic `seq`).
+    /// A disabled sink performs one branch and no allocation.
+    #[allow(clippy::too_many_arguments)] // a span is genuinely 7-dimensional + linkage
+    pub fn record_traced(
+        &self,
+        name: impl Into<String>,
+        category: &'static str,
+        pid: u64,
+        tid: u64,
+        started: Instant,
+        ctx: Option<&TraceContext>,
+        span_id: u64,
+    ) {
+        let Some(rec) = &self.rec else { return };
         let start = started.saturating_duration_since(self.epoch);
         let dur = started.elapsed();
-        let span = TraceSpan::new(
+        let mut span = TraceSpan::new(
             name,
             category,
             pid,
@@ -411,19 +615,28 @@ impl WallTraceSink {
             SimTime::from_nanos(start.as_nanos() as u64),
             SimDuration::from_nanos(dur.as_nanos() as u64),
         );
-        if let Ok(mut rec) = self.rec.lock() {
+        if let Some(ctx) = ctx {
+            span = span.with_context(ctx, span_id);
+        }
+        if let Ok(mut rec) = rec.lock() {
             rec.record(span);
+            rec.evict_to(self.max_spans);
         }
     }
 
-    /// Snapshot the spans recorded so far.
+    /// Snapshot the spans recorded so far (empty when disabled).
     pub fn snapshot(&self) -> Vec<TraceSpan> {
-        self.rec.lock().map(|r| r.spans().to_vec()).unwrap_or_default()
+        match &self.rec {
+            Some(rec) => rec.lock().map(|r| r.spans().to_vec()).unwrap_or_default(),
+            None => Vec::new(),
+        }
     }
 
     /// Drain into a plain recorder (for export alongside simulated spans).
+    /// A disabled sink drains to a disabled recorder.
     pub fn into_recorder(self) -> TraceRecorder {
-        match Arc::try_unwrap(self.rec) {
+        let Some(rec) = self.rec else { return TraceRecorder::disabled() };
+        match Arc::try_unwrap(rec) {
             Ok(m) => m.into_inner().unwrap_or_else(|_| TraceRecorder::enabled()),
             Err(arc) => {
                 let mut rec = TraceRecorder::enabled();
@@ -435,6 +648,20 @@ impl WallTraceSink {
                 rec
             }
         }
+    }
+
+    /// Snapshot as a recorder whose span starts are nanoseconds since the
+    /// unix epoch instead of since this sink's creation. Two processes
+    /// each exporting through `unix_recorder` land on one merged clock, so
+    /// [`TraceRecorder::absorb`] assembles a cross-process trace whose
+    /// spans line up causally (modulo host clock skew).
+    pub fn unix_recorder(&self) -> TraceRecorder {
+        let mut out = TraceRecorder::enabled();
+        for mut span in self.snapshot() {
+            span.start += SimDuration::from_nanos(self.unix_anchor_ns);
+            out.record(span);
+        }
+        out
     }
 }
 
@@ -546,5 +773,86 @@ mod tests {
         b.record(span(1, 0, 0, 2));
         a.absorb(b);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn context_ids_are_deterministic_and_nonzero() {
+        let mut rng = DetRng::new(7);
+        let a = TraceContext::root(&mut rng);
+        let b = TraceContext::root(&mut DetRng::new(7));
+        assert_eq!(a, b, "same seed, same root context");
+        assert_ne!(a.trace_id, 0);
+        assert_eq!(a.parent_span, 0);
+        assert_eq!(a.span_id(3), a.span_id(3));
+        assert_ne!(a.span_id(3), a.span_id(4));
+        assert_ne!(a.span_id(0), 0);
+        let (id, child) = a.child(1);
+        assert_eq!(child.trace_id, a.trace_id);
+        assert_eq!(child.parent_span, id);
+        assert_ne!(child.span_id(1), a.span_id(1), "parent feeds the derivation");
+    }
+
+    #[test]
+    fn context_wire_round_trips_and_rejects_garbage() {
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF_0BAD_F00D, parent_span: 42 };
+        let bytes = ctx.encode();
+        assert_eq!(bytes.len(), TRACE_CONTEXT_LEN);
+        assert_eq!(TraceContext::decode(&bytes), Some(ctx));
+        assert_eq!(TraceContext::decode(&bytes[..15]), None, "short");
+        assert_eq!(TraceContext::decode(&[0u8; 16]), None, "zero trace id");
+        assert_eq!(TraceContext::decode(&[0u8; 32]), None, "long");
+        assert_eq!(TraceContext::decode(&[]), None, "empty");
+    }
+
+    #[test]
+    fn chrome_json_keeps_trace_linkage_args() {
+        let ctx = TraceContext { trace_id: 0xABCD, parent_span: 0x11 };
+        let mut rec = TraceRecorder::enabled();
+        rec.record(span(1, 1, 0, 5).with_context(&ctx, ctx.span_id(0)).with_arg("microbatch", "9"));
+        let back = TraceRecorder::from_chrome_json(&rec.to_chrome_json()).unwrap();
+        let s = &back.spans()[0];
+        assert_eq!(s.trace_arg(), Some(hex_id(0xABCD).as_str()));
+        assert!(s.args.iter().any(|(k, _)| *k == arg::SPAN));
+        assert!(s.args.iter().any(|(k, _)| *k == arg::PARENT));
+        assert!(!s.args.iter().any(|(k, _)| *k == "microbatch"), "only linkage args survive");
+    }
+
+    #[test]
+    fn evict_to_drops_oldest_first() {
+        let mut rec = TraceRecorder::enabled();
+        for i in 0..10 {
+            rec.record(span(0, 0, i, 1));
+        }
+        rec.evict_to(4);
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.spans()[0].start.as_nanos(), 6, "oldest evicted");
+        rec.evict_to(100); // no-op below the cap
+        assert_eq!(rec.len(), 4);
+    }
+
+    #[test]
+    fn disabled_wall_sink_drops_everything() {
+        let sink = WallTraceSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.record("x", cat::SERVE_EXEC, 0, 0, Instant::now());
+        assert!(sink.snapshot().is_empty());
+        assert!(sink.unix_recorder().is_empty());
+        assert!(!sink.into_recorder().is_enabled());
+    }
+
+    #[test]
+    fn bounded_wall_sink_evicts_and_unix_recorder_shifts() {
+        let sink = WallTraceSink::new().with_capacity(3);
+        let ctx = TraceContext { trace_id: 5, parent_span: 0 };
+        for i in 0..5u64 {
+            sink.record_traced("s", cat::SERVE_EXEC, 1, 1, Instant::now(), Some(&ctx), i);
+        }
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 3, "cap enforced");
+        assert_eq!(spans[0].trace_arg(), Some(hex_id(5).as_str()));
+        let unix = sink.unix_recorder();
+        assert_eq!(unix.len(), 3);
+        // The unix anchor pushes starts far past the relative clock.
+        assert!(unix.spans()[0].start.as_nanos() > 1_000_000_000_000_000_000);
     }
 }

@@ -4,8 +4,8 @@
 //! global allocator (which is why this lives in its own integration test —
 //! the allocator is process-global).
 
-use dt_simengine::trace::{cat, TraceRecorder, TraceSpan};
-use dt_simengine::{SimDuration, SimTime};
+use dt_simengine::trace::{cat, TraceContext, TraceRecorder, TraceSpan, WallTraceSink};
+use dt_simengine::{DetRng, SimDuration, SimTime};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -49,6 +49,36 @@ fn disabled_recorder_never_allocates() {
     let after = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(after - before, 0, "disabled TraceRecorder::record_with must not allocate");
     assert!(rec.is_empty());
+}
+
+#[test]
+fn disabled_wall_sink_record_traced_never_allocates() {
+    // The traced emission points are compiled into the serve daemon's and
+    // the preprocess producer's hot loops; with the sink disabled they
+    // must cost one branch and nothing else. The name is a &'static str
+    // here because that is what the hot paths pass when no per-request
+    // formatting is needed — a format!'d name would allocate at the call
+    // site before the sink could decline it.
+    let sink = WallTraceSink::disabled();
+    let mut rng = DetRng::new(7);
+    let ctx = TraceContext::root(&mut rng);
+    let started = std::time::Instant::now();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        sink.record_traced(
+            "hot span",
+            cat::COMPUTE_FWD,
+            1,
+            1,
+            started,
+            Some(&ctx),
+            ctx.span_id(i),
+        );
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled WallTraceSink::record_traced must not allocate");
+    assert!(!sink.is_enabled());
+    assert!(sink.snapshot().is_empty());
 }
 
 #[test]

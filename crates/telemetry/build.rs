@@ -1,0 +1,22 @@
+//! Stamp the git commit into the build so the `dt_build_info` metric can
+//! report exactly which tree a running daemon came from. Falls back to
+//! `unknown` outside a git checkout (e.g. a source tarball) so the build
+//! never fails on the stamp.
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=DT_GIT_HASH={hash}");
+    // Re-stamp when HEAD moves (best effort; .git may be elsewhere in a
+    // workspace checkout, in which case the stale stamp is harmless).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -55,16 +55,41 @@
 //! ```
 
 pub mod anomaly;
+pub mod flight;
 pub mod metric;
 pub mod registry;
 pub mod series;
 pub mod snapshot;
 
 pub use anomaly::{Anomaly, AnomalyConfig, AnomalyDetector, AnomalyKind};
+pub use flight::{FlightDump, FlightEvent, FlightLog, FlightRecorder};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricId, Registry, Telemetry};
 pub use series::TimeSeries;
 pub use snapshot::{MetricValue, Snapshot, SnapshotEntry};
+
+/// This build's crate version (compile-time constant).
+pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+/// The git commit this build came from, stamped by the build script
+/// (`unknown` outside a git checkout).
+pub const BUILD_GIT_HASH: &str = env!("DT_GIT_HASH");
+
+/// Register the standard process-identity metrics: the
+/// [`names::BUILD_INFO`] info gauge (constant 1, with the version and git
+/// hash as labels, the Prometheus `*_info` idiom) and the
+/// [`names::UPTIME_SECONDS`] gauge set to `uptime_secs`. Metrics
+/// endpoints call this right before snapshotting so every scrape carries
+/// a fresh uptime. No-op on a disabled handle.
+pub fn record_build_info(telemetry: &Telemetry, uptime_secs: f64) {
+    telemetry.with(|r| {
+        r.gauge(
+            names::BUILD_INFO,
+            &[("version", BUILD_VERSION), ("git_hash", BUILD_GIT_HASH)],
+        )
+        .set(1.0);
+        r.gauge(names::UPTIME_SECONDS, &[]).set(uptime_secs);
+    });
+}
 
 /// Canonical metric names, one constant per family (mirrors the span
 /// category constants in `dt_simengine::trace::cat`). Prometheus-format
@@ -181,4 +206,13 @@ pub mod names {
     pub const SERVE_STORE_MISSES_TOTAL: &str = "dt_serve_store_misses_total";
     /// HTTP scrapes of the live `/metrics` endpoint, counter.
     pub const SERVE_SCRAPES_TOTAL: &str = "dt_serve_scrapes_total";
+
+    /// Build identity info gauge (constant 1; the version and git hash
+    /// ride as labels, the Prometheus `*_info` idiom).
+    pub const BUILD_INFO: &str = "dt_build_info";
+    /// Seconds since this process's telemetry came up, gauge (refreshed
+    /// at scrape time).
+    pub const UPTIME_SECONDS: &str = "dt_uptime_seconds";
+    /// Flight-recorder dumps triggered, counter, labelled `reason`.
+    pub const FLIGHT_DUMPS_TOTAL: &str = "dt_flight_dumps_total";
 }

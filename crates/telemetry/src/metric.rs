@@ -128,6 +128,11 @@ pub struct Histogram {
     zeros: AtomicU64,
     count: AtomicU64,
     sum_bits: AtomicU64,
+    /// Largest value observed with a trace id attached (bits), for the
+    /// exemplar.
+    exemplar_val_bits: AtomicU64,
+    /// Trace id of that observation (0 = no exemplar).
+    exemplar_trace: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -144,6 +149,8 @@ impl Histogram {
             zeros: AtomicU64::new(0),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0),
+            exemplar_val_bits: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -159,6 +166,45 @@ impl Histogram {
         }
         self.count.fetch_add(1, Ordering::Relaxed);
         atomic_f64_add(&self.sum_bits, v.max(0.0));
+    }
+
+    /// Record one sample carrying the trace id of the request that
+    /// produced it. The histogram keeps the id of its *largest* traced
+    /// sample as an exemplar, so an anomaly flag on this family links
+    /// straight to the offending trace. Atomics only (the value CAS and
+    /// the id store are separate, so a racing reader can briefly pair a
+    /// fresh value with the previous id — harmless for an exemplar).
+    /// `trace_id == 0` degrades to [`observe`](Self::observe).
+    pub fn observe_traced(&self, v: f64, trace_id: u64) {
+        self.observe(v);
+        if trace_id == 0 || v.is_nan() || v <= 0.0 {
+            return;
+        }
+        let mut cur = self.exemplar_val_bits.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= v && self.exemplar_trace.load(Ordering::Relaxed) != 0 {
+                return;
+            }
+            match self.exemplar_val_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.exemplar_trace.store(trace_id, Ordering::Relaxed);
+                    return;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// The current exemplar, if any traced sample has been observed:
+    /// `(value, trace id)` of the largest traced observation.
+    pub fn exemplar(&self) -> Option<(f64, u64)> {
+        let trace = self.exemplar_trace.load(Ordering::Relaxed);
+        (trace != 0).then(|| (f64::from_bits(self.exemplar_val_bits.load(Ordering::Relaxed)), trace))
     }
 
     /// Total samples recorded.
@@ -211,6 +257,7 @@ impl Histogram {
             zeros: self.zeros.load(Ordering::Relaxed),
             count: self.count(),
             sum: self.sum(),
+            exemplar: self.exemplar(),
         }
     }
 }
@@ -227,6 +274,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of samples.
     pub sum: f64,
+    /// `(value, trace id)` of the largest traced observation, if any —
+    /// the link from an anomalous distribution back to the trace that
+    /// caused it.
+    pub exemplar: Option<(f64, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -335,6 +386,26 @@ mod tests {
         let h = Histogram::new();
         h.observe(f64::NAN);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_largest_traced_sample() {
+        let h = Histogram::new();
+        assert_eq!(h.exemplar(), None);
+        h.observe(100.0); // untraced: never becomes an exemplar
+        assert_eq!(h.exemplar(), None);
+        h.observe_traced(1.0, 0xA);
+        assert_eq!(h.exemplar(), Some((1.0, 0xA)));
+        h.observe_traced(0.5, 0xB); // smaller: ignored
+        assert_eq!(h.exemplar(), Some((1.0, 0xA)));
+        h.observe_traced(2.0, 0xC); // larger: replaces
+        assert_eq!(h.exemplar(), Some((2.0, 0xC)));
+        h.observe_traced(3.0, 0); // zero trace id degrades to observe
+        assert_eq!(h.exemplar(), Some((2.0, 0xC)));
+        h.observe_traced(0.0, 0xD); // zero value: counted, no exemplar
+        assert_eq!(h.exemplar(), Some((2.0, 0xC)));
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.snapshot().exemplar, Some((2.0, 0xC)));
     }
 
     #[test]

@@ -235,6 +235,15 @@ impl Snapshot {
                         fields.push(("count", Json::num_u64(h.count)));
                         fields.push(("sum", Json::Num(h.sum)));
                         fields.push(("zeros", Json::num_u64(h.zeros)));
+                        if let Some((v, trace)) = h.exemplar {
+                            fields.push((
+                                "exemplar",
+                                Json::obj(vec![
+                                    ("value", Json::Num(v)),
+                                    ("trace", Json::num_u64(trace)),
+                                ]),
+                            ));
+                        }
                         fields.push((
                             "buckets",
                             Json::Arr(
@@ -293,11 +302,16 @@ impl Snapshot {
                             Some((pair.first()?.as_u32()?, pair.get(1)?.as_u64()?))
                         })
                         .collect::<Option<Vec<_>>>()?;
+                    // Optional: archives predating exemplars omit it.
+                    let exemplar = m.get("exemplar").and_then(|e| {
+                        Some((e.get("value")?.as_f64()?, e.get("trace")?.as_u64()?))
+                    });
                     MetricValue::Histogram(HistogramSnapshot {
                         buckets,
                         zeros: m.get("zeros")?.as_u64()?,
                         count: m.get("count")?.as_u64()?,
                         sum: m.get("sum")?.as_f64()?,
+                        exemplar,
                     })
                 }
                 "series" => {
@@ -338,6 +352,7 @@ mod tests {
         for i in 1..=100 {
             h.observe(i as f64 / 100.0);
         }
+        r.histogram("dt_test_traced_seconds", &[]).observe_traced(0.5, 0xBEEF);
         let s = r.series("dt.test.iter", &[]);
         s.sample(SimTime::ZERO + SimDuration::from_secs_f64(1.0), 0.5);
         s.sample(SimTime::ZERO + SimDuration::from_secs_f64(2.0), 0.75);
@@ -385,5 +400,17 @@ mod tests {
         assert_eq!(snap.histogram_value("dt_test_latency_seconds", &[]).unwrap().count, 100);
         assert_eq!(snap.series_values("dt.test.iter", &[]), Some(vec![0.5, 0.75]));
         assert!(snap.get("missing", &[]).is_none());
+    }
+
+    #[test]
+    fn exemplar_survives_the_json_archive() {
+        let snap = sample_registry().snapshot();
+        let h = snap.histogram_value("dt_test_traced_seconds", &[]).unwrap();
+        assert_eq!(h.exemplar, Some((0.5, 0xBEEF)));
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        // And an exemplar-free archive (the pre-exemplar format) parses.
+        let untrace = snap.histogram_value("dt_test_latency_seconds", &[]).unwrap();
+        assert_eq!(untrace.exemplar, None);
     }
 }

@@ -5,7 +5,7 @@
 //! dedicated integration test), exactly like the trace layer's
 //! `trace_zero_alloc` test.
 
-use dt_telemetry::{names, Telemetry};
+use dt_telemetry::{names, FlightLog, Telemetry};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -53,6 +53,54 @@ fn disabled_telemetry_never_allocates_and_never_runs_closures() {
     }
     let after = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(after - before, 0, "cloning a disabled Telemetry must not allocate");
+}
+
+#[test]
+fn disabled_flight_recorder_never_allocates_and_never_runs_detail() {
+    // Flight-recorder emission points sit on the same hot paths as the
+    // metric ones (every request frame, every generated batch), so a run
+    // without the recorder must not pay an allocation or a detail
+    // closure for them — `record` and `dump` are both one branch.
+    let log = FlightLog::disabled();
+    let rec = log.recorder("session", 64);
+    let mut invoked = 0u64;
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        rec.record("request", i, || {
+            invoked += 1;
+            format!("detail {i}")
+        });
+        if i % 100 == 0 {
+            rec.dump("malformed");
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled FlightRecorder must not allocate");
+    assert_eq!(invoked, 0, "disabled FlightRecorder must never build detail strings");
+    assert!(!rec.is_enabled());
+    assert_eq!(log.dumps_total(), 0, "disabled log can never have dumped");
+}
+
+#[test]
+fn enabled_flight_recorder_does_allocate_as_a_sanity_check() {
+    // Guards against the disabled test silently passing because nothing
+    // counts: the same loop against a live log must run the closures and
+    // register allocations, and the dump must actually land.
+    let log = FlightLog::new();
+    let rec = log.recorder("session", 64);
+    let mut invoked = 0u64;
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..100u64 {
+        rec.record("request", i, || {
+            invoked += 1;
+            format!("detail {i}")
+        });
+    }
+    rec.dump("anomaly");
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert!(after > before, "enabled FlightRecorder must record (and thus allocate)");
+    assert_eq!(invoked, 100);
+    assert_eq!(log.dumps_total(), 1);
 }
 
 #[test]

@@ -45,6 +45,14 @@ fi
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> disabled-observability zero-allocation gate (counting allocator)"
+# Tracing, metrics, and the flight recorder are compiled into every hot
+# loop; these integration tests prove the disabled handles cost one
+# branch and zero allocations (already part of the workspace run — named
+# here so a failure is unmistakable).
+cargo test -q -p dt-simengine --test trace_zero_alloc
+cargo test -q -p dt-telemetry --test telemetry_zero_alloc
+
 echo "==> cargo test --doc --workspace"
 cargo test --doc --workspace -q
 
@@ -83,20 +91,65 @@ for _ in $(seq 1 100); do
 done
 [ -n "$SERVE_ADDR" ] || { echo "serve daemon never printed its address" >&2; cat "$SERVE_LOG" >&2; exit 1; }
 CLIENT="./target/release/repro client --addr $SERVE_ADDR"
-$CLIENT plan --preset mllm-9b --nodes 12 --batch 128 | grep -q 'warm=false' \
+# Capture client output to a file and grep that: piping straight into
+# grep -q makes grep exit at the first match, SIGPIPE-ing the client
+# mid-print under pipefail.
+$CLIENT plan --preset mllm-9b --nodes 12 --batch 128 > "$VERIFY_TMP/serve_client.log"
+grep -q 'warm=false' "$VERIFY_TMP/serve_client.log" \
     || { echo "cold plan was not cold" >&2; exit 1; }
-$CLIENT plan --preset mllm-9b --nodes 12 --batch 128 | grep -q 'warm=true' \
+$CLIENT plan --preset mllm-9b --nodes 12 --batch 128 > "$VERIFY_TMP/serve_client.log"
+grep -q 'warm=true' "$VERIFY_TMP/serve_client.log" \
     || { echo "repeated plan missed the warm store" >&2; exit 1; }
-$CLIENT replan --preset mllm-9b --nodes 12 --batch 128 --remaining 64 | grep -q '^plan: total_gpus=64' \
+$CLIENT replan --preset mllm-9b --nodes 12 --batch 128 --remaining 64 > "$VERIFY_TMP/serve_client.log"
+grep -q '^plan: total_gpus=64' "$VERIFY_TMP/serve_client.log" \
     || { echo "replan did not land on the degraded GPU count" >&2; exit 1; }
-$CLIENT simulate --iters 1 | grep -q '^simulated 1 iteration' \
+$CLIENT simulate --iters 1 > "$VERIFY_TMP/serve_client.log"
+grep -q '^simulated 1 iteration' "$VERIFY_TMP/serve_client.log" \
     || { echo "simulate round-trip failed" >&2; exit 1; }
 $CLIENT metrics > "$VERIFY_TMP/serve_metrics.prom"
 grep -q '^dt_serve_requests_total{kind="plan",outcome="ok"}' "$VERIFY_TMP/serve_metrics.prom" \
     || { echo "dt_serve_requests_total missing from /metrics" >&2; exit 1; }
 grep -Eq '^dt_serve_store_hits_total [1-9]' "$VERIFY_TMP/serve_metrics.prom" \
     || { echo "warm-store hit not visible in /metrics" >&2; exit 1; }
-$CLIENT shutdown | grep -q '^bye' || { echo "graceful shutdown handshake failed" >&2; exit 1; }
+grep -q '^dt_build_info{' "$VERIFY_TMP/serve_metrics.prom" \
+    || { echo "dt_build_info missing from /metrics" >&2; exit 1; }
+grep -q '^dt_uptime_seconds ' "$VERIFY_TMP/serve_metrics.prom" \
+    || { echo "dt_uptime_seconds missing from /metrics" >&2; exit 1; }
+
+echo "==> distributed-tracing smoke (assembled cross-process span tree + flight dump)"
+# A traced plan must come back as one causally-linked tree: client,
+# daemon, and warm-store spans (three distinct process tracks) under a
+# single trace id, assembled from the daemon's /trace export merged with
+# the client's own sink.
+$CLIENT plan --preset mllm-9b --nodes 12 --batch 128 --trace "$VERIFY_TMP/trace.json" \
+    > "$VERIFY_TMP/trace_client.log" \
+    || { echo "traced plan did not round-trip" >&2; cat "$VERIFY_TMP/trace_client.log" >&2; exit 1; }
+grep -q 'warm=true' "$VERIFY_TMP/trace_client.log" \
+    || { echo "traced plan missed the warm store" >&2; cat "$VERIFY_TMP/trace_client.log" >&2; exit 1; }
+grep -Eq 'assembled trace: [0-9]+ traced spans across 3 process tracks, 1 trace id\(s\)' \
+    "$VERIFY_TMP/trace_client.log" \
+    || { echo "traced plan did not assemble a 3-process single-trace span tree" >&2;
+         cat "$VERIFY_TMP/trace_client.log" >&2; exit 1; }
+test -s "$VERIFY_TMP/trace.json" || { echo "assembled Chrome trace missing or empty" >&2; exit 1; }
+# A hostile session (garbage length word) must freeze its flight ring and
+# surface the black-box dump on GET /flight.
+SERVE_HOST="${SERVE_ADDR%:*}"
+SERVE_PORT="${SERVE_ADDR##*:}"
+exec 3<>"/dev/tcp/$SERVE_HOST/$SERVE_PORT" \
+    || { echo "cannot open hostile connection to $SERVE_ADDR" >&2; exit 1; }
+printf '\xff\xff\xff\xff' >&3
+exec 3<&- 3>&-
+FLIGHT_OK=""
+for _ in $(seq 1 50); do
+    $CLIENT flight > "$VERIFY_TMP/flight.json" || true
+    if grep -q '"reason":"malformed"' "$VERIFY_TMP/flight.json"; then FLIGHT_OK=1; break; fi
+    sleep 0.1
+done
+[ -n "$FLIGHT_OK" ] || { echo "malformed session never produced a flight dump" >&2;
+                         cat "$VERIFY_TMP/flight.json" >&2; exit 1; }
+$CLIENT shutdown > "$VERIFY_TMP/serve_client.log"
+grep -q '^bye' "$VERIFY_TMP/serve_client.log" \
+    || { echo "graceful shutdown handshake failed" >&2; exit 1; }
 wait "$SERVE_PID" || { echo "serve daemon exited non-zero after drain" >&2; exit 1; }
 grep -q 'dt-serve drained and stopped' "$SERVE_LOG" \
     || { echo "daemon did not report a clean drain" >&2; cat "$SERVE_LOG" >&2; exit 1; }
