@@ -106,6 +106,11 @@ pub fn default_metrics_run() -> MetricsRun {
         checkpoint_cost: SimDuration::from_secs_f64(1.0),
         restart_overhead: SimDuration::from_secs_f64(5.0),
         reshard_cost: SimDuration::from_secs_f64(3.0),
+        topology: None,
+        healer: None,
+        precursor_window: SimDuration::ZERO,
+        precursor_stall: SimDuration::ZERO,
+        spare_slowdown: 1.0,
     };
     let dir = std::env::temp_dir().join(format!("dt-metricsbench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -119,6 +124,7 @@ pub fn default_metrics_run() -> MetricsRun {
         &dir,
         &mut TraceRecorder::disabled(),
         tel,
+        &dt_telemetry::FlightLog::disabled(),
     )
     .expect("elastic run");
     let _ = std::fs::remove_dir_all(&dir);

@@ -10,7 +10,12 @@
 
 use crate::gen;
 use crate::prop::{ensure, Failure, Property};
+use disttrain_core::{SystemKind, TrainingTask};
 use dt_cluster::{ClusterSpec, CollectiveCost, GpuSpec};
+use dt_elastic::{
+    run_elastic_with, CheckpointPolicy, ElasticPlan, FailureTopology, HealerConfig,
+};
+use dt_parallel::OrchestrationPlan;
 use dt_model::MllmPreset;
 use dt_orchestrator::{Orchestrator, PerfModel, Profiler, SearchMode};
 use dt_pipeline::schedule::StageOp;
@@ -121,6 +126,14 @@ pub fn registry() -> Vec<Property> {
             max_size: 4,
             max_cases: u32::MAX,
             run: service_hostile_peers,
+        },
+        Property {
+            name: "elastic.correlated_goodput_accounting",
+            about: "elastic runs under random correlated topologies + healer: goodput identity \
+                    exact, outcome (incl. healer action sequence) bit-reproducible per seed",
+            max_size: 1,
+            max_cases: 200,
+            run: correlated_goodput_accounting,
         },
         Property {
             name: "telemetry.snapshot_json_round_trip",
@@ -641,6 +654,113 @@ fn batch_sizes_are_finite(rng: &mut DetRng, n: usize) -> bool {
         .all(|s| dt_data::cost::multimodal_size(&model, s).is_finite())
 }
 
+/// Cached elastic-oracle workload: the batch-32 ablation task planned
+/// once. Every case reuses it — the oracle varies the failure regime
+/// (topology, seed, spares, healer pacing), not the training job.
+fn elastic_oracle_fixture() -> &'static (TrainingTask, OrchestrationPlan) {
+    static FIXTURE: std::sync::OnceLock<(TrainingTask, OrchestrationPlan)> =
+        std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let task = TrainingTask::ablation(MllmPreset::Mllm9B.build(), 32);
+        let plan = task.plan(SystemKind::DistTrain).expect("ablation task plans");
+        (task, plan)
+    })
+}
+
+fn correlated_goodput_accounting(rng: &mut DetRng, _size: usize) -> Result<(), Failure> {
+    let (task, initial) = elastic_oracle_fixture();
+    let radius = rng.range_u64(1, 5) as u32;
+    let plan = ElasticPlan {
+        node_mtbf: SimDuration::from_secs_f64(rng.range_f64(150.0, 1200.0)),
+        failure_seed: rng.next_u64(),
+        spare_nodes: rng.range_u64(0, 4) as u32,
+        checkpoint: CheckpointPolicy::YoungDaly,
+        checkpoint_cost: SimDuration::from_secs_f64(1.0),
+        restart_overhead: SimDuration::from_secs_f64(5.0),
+        reshard_cost: SimDuration::from_secs_f64(3.0),
+        topology: Some(FailureTopology::new(
+            radius,
+            SimDuration::from_secs_f64(rng.range_f64(80.0, 400.0)),
+        )),
+        healer: Some(HealerConfig::default()),
+        precursor_window: SimDuration::ZERO,
+        precursor_stall: SimDuration::ZERO,
+        spare_slowdown: rng.range_f64(1.0, 2.0),
+    };
+    let iterations = rng.range_u64(6, 11) as u32;
+    let scenario = format!(
+        "radius {radius} seed {:#x} spares {} iters {iterations}",
+        plan.failure_seed, plan.spare_nodes
+    );
+    // The same fully-specified scenario, executed twice in fresh
+    // checkpoint directories: the outcome — success or typed failure —
+    // must be bit-identical, and every success must account for its wall
+    // clock exactly.
+    let mut outcomes = Vec::with_capacity(2);
+    for run in 0..2 {
+        let dir = std::env::temp_dir().join(format!(
+            "dt-check-elastic-{}-{:x}-{run}",
+            std::process::id(),
+            plan.failure_seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).map_err(|e| Failure::new(format!("mkdir: {e}")))?;
+        let out = run_elastic_with(
+            task,
+            iterations,
+            &plan,
+            *initial,
+            &dir,
+            &mut dt_simengine::TraceRecorder::disabled(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        outcomes.push(out);
+    }
+    let second = outcomes.pop().expect("two runs");
+    let first = outcomes.pop().expect("two runs");
+    match (&first, &second) {
+        (Ok(a), Ok(b)) => {
+            a.goodput.validate().map_err(|e| {
+                Failure::new(format!("{scenario}: goodput identity violated: {e}"))
+            })?;
+            ensure(a.report.iterations.len() == iterations as usize, || {
+                format!(
+                    "{scenario}: {} committed iterations, requested {iterations}",
+                    a.report.iterations.len()
+                )
+            })?;
+            ensure(a.goodput == b.goodput, || {
+                format!(
+                    "{scenario}: goodput not reproducible: {:?} vs {:?}",
+                    a.goodput, b.goodput
+                )
+            })?;
+            ensure(a.healer_actions == b.healer_actions, || {
+                format!(
+                    "{scenario}: healer action sequence not reproducible: {:?} vs {:?}",
+                    a.healer_actions, b.healer_actions
+                )
+            })?;
+            let log = |r: &dt_elastic::ElasticReport| format!("{:?}", r.failures);
+            ensure(log(a) == log(b), || {
+                format!("{scenario}: failure log not reproducible")
+            })
+        }
+        (Err(a), Err(b)) => {
+            // A blast radius the spare pool can't absorb may legitimately
+            // stall the machine — but it must stall identically.
+            ensure(format!("{a:?}") == format!("{b:?}"), || {
+                format!("{scenario}: divergent failures: {a:?} vs {b:?}")
+            })
+        }
+        _ => Err(Failure::new(format!(
+            "{scenario}: one run succeeded, the other failed: {:?} vs {:?}",
+            first.as_ref().map(|r| r.goodput),
+            second.as_ref().map(|r| r.goodput)
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,8 +790,8 @@ mod tests {
     #[test]
     fn cheap_oracles_hold_across_a_quick_sweep() {
         for p in registry() {
-            if p.name.starts_with("planner.") {
-                continue; // covered (more cheaply) by its dedicated test
+            if p.name.starts_with("planner.") || p.name.starts_with("elastic.") {
+                continue; // covered (more cheaply) by their dedicated tests
             }
             let out = run_property(&p, 12);
             assert!(out.failure.is_none(), "{}: {:?}", p.name, out.failure);
@@ -695,6 +815,16 @@ mod tests {
             .find(|p| p.name == "planner.pruned_matches_exhaustive")
             .unwrap();
         let out = run_property(&p, 2);
+        assert!(out.failure.is_none(), "{:?}", out.failure);
+    }
+
+    #[test]
+    fn correlated_goodput_oracle_holds_on_a_few_cases() {
+        let p = registry()
+            .into_iter()
+            .find(|p| p.name == "elastic.correlated_goodput_accounting")
+            .unwrap();
+        let out = run_property(&p, 3);
         assert!(out.failure.is_none(), "{:?}", out.failure);
     }
 

@@ -23,4 +23,4 @@ pub mod topology;
 
 pub use collective::{CollectiveCost, CollectiveKind, CommDomain};
 pub use gpu::GpuSpec;
-pub use topology::{ClusterSpec, NodeSpec};
+pub use topology::{ClusterSpec, NodeSpec, NODES_PER_RACK};

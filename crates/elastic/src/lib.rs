@@ -7,18 +7,29 @@
 //! deterministic simulator:
 //!
 //! * [`stream`] — per-node exponential **MTBF failure streams**, seeded
-//!   and bit-reproducible, with node-level failure domains from the
-//!   [`dt_cluster`] topology;
+//!   and bit-reproducible, layered with seeded **correlated domain
+//!   events** from a [`FailureTopology`] (a rack/switch event fails
+//!   every live slot of the domain at one instant);
+//! * [`topology`] — the correlated failure-domain model, derived from
+//!   the [`dt_cluster`] rack layout;
 //! * [`policy`] — the [`ElasticPlan`] scenario description and the
-//!   **Young–Daly** checkpoint-interval optimum `√(2·C·M)`;
+//!   **Young–Daly** checkpoint-interval optimum `√(2·C·M)`, with the
+//!   system MTBF summing independent and correlated event rates;
 //! * [`sim`] — a discrete-event checkpoint–restart machine on the
 //!   [`dt_simengine::Simulator`] plus an exhaustive interval search that
-//!   *validates* Young–Daly against simulation;
+//!   *validates* Young–Daly against simulation (correlated MTBF
+//!   included);
+//! * [`healer`] — the watcher→healer loop: dt-telemetry's anomaly
+//!   detector run online over committed iterations, converting stall
+//!   bursts into preemptive checkpoints and persistent stragglers / MFU
+//!   regressions into proactive warm-start replans;
 //! * [`run`] — the elastic driver: failures roll the real runtime back to
-//!   its newest durable checkpoint; hot spares absorb them in place, and
-//!   when the spare pool runs dry the cluster **shrinks** and the §4
-//!   orchestrator re-plans the survivors (never worse than the naive
-//!   proportional shrink, because the naive plan is in the trial set);
+//!   its newest durable checkpoint; topology-aware hot spares (parked
+//!   across domains, preferred outside the failing domain) absorb them in
+//!   place, and when the spare pool runs dry the cluster **shrinks** and
+//!   the §4 orchestrator re-plans the survivors (never worse than the
+//!   naive proportional shrink, because the naive plan is in the trial
+//!   set);
 //! * [`goodput`] — wall-clock accounting: committed / lost / checkpoint /
 //!   restart / re-shard buckets that reconstruct the wall clock exactly,
 //!   plus degraded-capacity time.
@@ -41,13 +52,19 @@
 //! ```
 
 pub mod goodput;
+pub mod healer;
 pub mod policy;
 pub mod run;
 pub mod sim;
 pub mod stream;
+pub mod topology;
 
 pub use goodput::GoodputReport;
-pub use policy::{checkpoint_bytes, interval_in_iterations, young_daly_interval, CheckpointPolicy, ElasticPlan};
+pub use healer::{Healer, HealerAction, HealerConfig, HealerEvent};
+pub use policy::{
+    checkpoint_bytes, interval_in_iterations, system_mtbf, young_daly_interval,
+    young_daly_interval_correlated, CheckpointPolicy, ElasticPlan,
+};
 pub use run::{
     run_elastic, run_elastic_instrumented, run_elastic_traced, run_elastic_with, ElasticError,
     ElasticReport, FailureEvent,
@@ -55,3 +72,4 @@ pub use run::{
 };
 pub use sim::{exhaustive_best_interval, simulate_goodput, MachineConfig};
 pub use stream::{FailureStream, NodeFailure};
+pub use topology::FailureTopology;

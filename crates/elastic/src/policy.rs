@@ -13,6 +13,8 @@
 //! plus replayed work. [`crate::sim::exhaustive_best_interval`] validates
 //! the closed form against the discrete-event simulator.
 
+use crate::healer::HealerConfig;
+use crate::topology::FailureTopology;
 use disttrain_core::TrainingTask;
 use dt_simengine::SimDuration;
 
@@ -26,6 +28,24 @@ pub enum CheckpointPolicy {
     YoungDaly,
 }
 
+/// Effective **system** MTBF under both failure layers. Interruptions
+/// arrive as a superposition of Poisson processes — independent node
+/// failures at rate `nodes / node_mtbf` and correlated domain events at
+/// `domains / domain_mtbf` (a domain event kills many slots but restarts
+/// the job *once*, so it is one interruption) — and the mean time between
+/// interruptions is the reciprocal of the summed rates.
+pub fn system_mtbf(
+    node_mtbf: SimDuration,
+    nodes: u32,
+    topology: Option<&FailureTopology>,
+) -> SimDuration {
+    let mut rate = f64::from(nodes.max(1)) / node_mtbf.as_secs_f64().max(1e-9);
+    if let Some(t) = topology {
+        rate += f64::from(t.domains(nodes)) / t.domain_mtbf.as_secs_f64().max(1e-9);
+    }
+    SimDuration::from_secs_f64(1.0 / rate)
+}
+
 /// The Young–Daly optimal *wall-clock* checkpoint interval: `√(2·C·M)`
 /// with `C` the checkpoint cost and `M` the **system** MTBF
 /// (`node_mtbf / nodes` — any of the `nodes` failure domains takes the
@@ -35,7 +55,22 @@ pub fn young_daly_interval(
     node_mtbf: SimDuration,
     nodes: u32,
 ) -> SimDuration {
-    let m = node_mtbf.as_secs_f64() / f64::from(nodes.max(1));
+    young_daly_interval_correlated(checkpoint_cost, node_mtbf, nodes, None)
+}
+
+/// [`young_daly_interval`] under correlated MTBF: the system MTBF in
+/// `√(2·C·M)` comes from [`system_mtbf`], so correlated domain events
+/// shorten `M` (and the interval) by their event rate — *not* by their
+/// victim count, since a k-node blast still restarts the job once.
+/// The correlated validation test in [`crate::sim`] checks this closed
+/// form against [`crate::sim::exhaustive_best_interval`].
+pub fn young_daly_interval_correlated(
+    checkpoint_cost: SimDuration,
+    node_mtbf: SimDuration,
+    nodes: u32,
+    topology: Option<&FailureTopology>,
+) -> SimDuration {
+    let m = system_mtbf(node_mtbf, nodes, topology).as_secs_f64();
     SimDuration::from_secs_f64((2.0 * checkpoint_cost.as_secs_f64() * m).sqrt())
 }
 
@@ -50,18 +85,21 @@ pub fn interval_in_iterations(interval: SimDuration, iter_time: SimDuration) -> 
 
 impl CheckpointPolicy {
     /// The cadence (in iterations) this policy implies for a cluster of
-    /// `nodes` failure domains training at `iter_time` per iteration.
+    /// `nodes` failure domains training at `iter_time` per iteration,
+    /// with correlated domain events (if any) folded into the system
+    /// MTBF.
     pub fn interval(
         &self,
         checkpoint_cost: SimDuration,
         node_mtbf: SimDuration,
         nodes: u32,
+        topology: Option<&FailureTopology>,
         iter_time: SimDuration,
     ) -> u32 {
         match *self {
             CheckpointPolicy::Fixed(n) => n.max(1),
             CheckpointPolicy::YoungDaly => interval_in_iterations(
-                young_daly_interval(checkpoint_cost, node_mtbf, nodes),
+                young_daly_interval_correlated(checkpoint_cost, node_mtbf, nodes, topology),
                 iter_time,
             ),
         }
@@ -97,6 +135,28 @@ pub struct ElasticPlan {
     /// Migration cost of re-sharding state onto a new plan after a shrink
     /// (checkpoint bytes over the RDMA fabric).
     pub reshard_cost: SimDuration,
+    /// Correlated rack/switch failure domains layered over the
+    /// independent per-node process; `None` keeps the classic model.
+    pub topology: Option<FailureTopology>,
+    /// Anomaly-driven preemptive action (the watcher→healer loop);
+    /// `None` runs without a healer.
+    pub healer: Option<HealerConfig>,
+    /// How long before its failure an ailing node shows precursor
+    /// symptoms (stall bursts). Iterations whose completion lands within
+    /// this window of the next failure are stretched by
+    /// `precursor_stall` — the signal the healer's stall-burst detector
+    /// turns into a preemptive checkpoint. Zero disables precursors.
+    pub precursor_window: SimDuration,
+    /// Extra stall injected per precursor-window iteration (charged as
+    /// lost time, not committed work).
+    pub precursor_stall: SimDuration,
+    /// Pace factor of a replacement spare (≥ 1.0; 1.0 = full speed). A
+    /// slow spare paces the whole synchronous job — observed iteration
+    /// wall time is `iter_time × spare_slowdown` while any slow spare is
+    /// in service — which is the persistent-straggler / MFU-regression
+    /// signal the healer turns into a proactive replan that evicts the
+    /// slow slots.
+    pub spare_slowdown: f64,
 }
 
 /// Bytes of one full training checkpoint: bf16 weights for every module
@@ -131,6 +191,11 @@ impl ElasticPlan {
             reshard_cost: SimDuration::from_secs_f64(
                 bytes / task.cluster.node.node_internode_bw(),
             ),
+            topology: None,
+            healer: None,
+            precursor_window: SimDuration::ZERO,
+            precursor_stall: SimDuration::ZERO,
+            spare_slowdown: 1.0,
         }
     }
 }
@@ -166,9 +231,26 @@ mod tests {
         assert_eq!(interval_in_iterations(secs(1.0), secs(50.0)), 1);
         assert_eq!(interval_in_iterations(secs(10.0), SimDuration::ZERO), 1);
         assert_eq!(
-            CheckpointPolicy::Fixed(7).interval(secs(1.0), secs(1.0), 4, secs(1.0)),
+            CheckpointPolicy::Fixed(7).interval(secs(1.0), secs(1.0), 4, None, secs(1.0)),
             7
         );
+    }
+
+    #[test]
+    fn correlated_mtbf_sums_the_event_rates() {
+        // 16 nodes / 50ks → 1/3125; 4 racks / 12.5ks → 1/3125; summed
+        // rate 2/3125 → system MTBF 1562.5s.
+        let topo = FailureTopology::new(4, secs(12_500.0));
+        let m = system_mtbf(secs(50_000.0), 16, Some(&topo));
+        assert!((m.as_secs_f64() - 1562.5).abs() < 1e-6);
+        // Without a topology the classic `node_mtbf / nodes` falls out.
+        let ind = system_mtbf(secs(50_000.0), 16, None);
+        assert!((ind.as_secs_f64() - 3125.0).abs() < 1e-6);
+        // Correlated events shorten the Young–Daly interval: √(1562.5 /
+        // 3125) = 1/√2 of the independent-only optimum.
+        let yd_c = young_daly_interval_correlated(secs(25.0), secs(50_000.0), 16, Some(&topo));
+        let yd_i = young_daly_interval(secs(25.0), secs(50_000.0), 16);
+        assert!((yd_c.as_secs_f64() - yd_i.as_secs_f64() / 2f64.sqrt()).abs() < 1e-6);
     }
 
     #[test]

@@ -20,8 +20,9 @@
 //! lands in exactly one [`GoodputReport`] bucket.
 
 use crate::goodput::GoodputReport;
+use crate::healer::{Healer, HealerAction, HealerEvent};
 use crate::policy::ElasticPlan;
-use crate::stream::FailureStream;
+use crate::stream::{FailureStream, NodeFailure};
 use disttrain_core::{
     record_iteration_metrics, CheckpointManager, IterationReport, Runtime, SystemKind,
     TrainingReport, TrainingState, TrainingTask,
@@ -31,7 +32,7 @@ use dt_data::{GlobalBatch, SyntheticLaion};
 use dt_parallel::OrchestrationPlan;
 use dt_simengine::trace::{cat, TraceRecorder, TraceSpan};
 use dt_simengine::{SimDuration, SimTime};
-use dt_telemetry::{names, Telemetry};
+use dt_telemetry::{names, FlightLog, Telemetry};
 use std::path::Path;
 
 /// How a node failure was absorbed.
@@ -57,6 +58,9 @@ pub struct FailureEvent {
     pub action: RecoveryAction,
     /// The checkpointed iteration training resumed from.
     pub resumed_from: u32,
+    /// `true` when the node died as part of a correlated domain event
+    /// (its whole rack went down at this instant).
+    pub correlated: bool,
 }
 
 /// One stretch of the run executed under a single plan. Iterations
@@ -83,6 +87,8 @@ pub struct ElasticReport {
     pub epochs: Vec<PlanEpoch>,
     /// Every failure, in order.
     pub failures: Vec<FailureEvent>,
+    /// Every healer action, in order (empty without a healer).
+    pub healer_actions: Vec<HealerEvent>,
     /// Where the wall clock went.
     pub goodput: GoodputReport,
     /// Real host time spent inside the §4 re-orchestration search across
@@ -123,6 +129,15 @@ pub enum ElasticError {
     Io(std::io::Error),
     /// No feasible plan exists (initially, or for the shrunken cluster).
     Infeasible(String),
+    /// The failure process destroyed every node slot (spare pool dry,
+    /// correlated blast radius too large) before the requested
+    /// iterations committed: the machine stalled instead of finishing.
+    NoProgress {
+        /// Iterations durably committed before the stall.
+        committed: u32,
+        /// Iterations the run was asked for.
+        requested: u32,
+    },
 }
 
 impl From<std::io::Error> for ElasticError {
@@ -136,11 +151,64 @@ impl std::fmt::Display for ElasticError {
         match self {
             ElasticError::Io(e) => write!(f, "checkpoint I/O: {e}"),
             ElasticError::Infeasible(why) => write!(f, "no feasible plan: {why}"),
+            ElasticError::NoProgress { committed, requested } => write!(
+                f,
+                "no progress: stalled at {committed}/{requested} iterations \
+                 (no live node slot remains)"
+            ),
         }
     }
 }
 
 impl std::error::Error for ElasticError {}
+
+/// Topology-aware hot-spare pool. Spares are parked round-robin across
+/// the failure domains; a swap prefers a spare parked *outside* the
+/// failing domain (its hardware shares no PDU/ToR with whatever just
+/// died), and a correlated domain event destroys the spares parked
+/// inside its blast radius before any of them can swap in. Without a
+/// topology everything lives in one domain and this degrades to the old
+/// scalar pool.
+struct SparePool {
+    by_domain: Vec<u32>,
+}
+
+impl SparePool {
+    fn new(total: u32, domains: u32) -> Self {
+        let d = domains.max(1) as usize;
+        let mut by_domain = vec![0u32; d];
+        for i in 0..total {
+            by_domain[i as usize % d] += 1;
+        }
+        SparePool { by_domain }
+    }
+
+    /// Take one spare, preferring any domain other than `avoid`; fall
+    /// back to `avoid` itself only when nothing else is parked.
+    fn take_preferring_other(&mut self, avoid: u32) -> bool {
+        let d = self.by_domain.len();
+        let avoid = avoid as usize % d;
+        for k in 1..d {
+            let idx = (avoid + k) % d;
+            if self.by_domain[idx] > 0 {
+                self.by_domain[idx] -= 1;
+                return true;
+            }
+        }
+        if self.by_domain[avoid] > 0 {
+            self.by_domain[avoid] -= 1;
+            return true;
+        }
+        false
+    }
+
+    /// A correlated event burns every spare parked in its domain; returns
+    /// how many were lost.
+    fn destroy_in(&mut self, domain: u32) -> u32 {
+        let d = self.by_domain.len();
+        std::mem::take(&mut self.by_domain[domain as usize % d])
+    }
+}
 
 /// Wall clock with degraded-time attribution.
 struct Wall {
@@ -205,6 +273,7 @@ pub fn run_elastic_with(
         ckpt_dir,
         rec,
         &Telemetry::disabled(),
+        &FlightLog::disabled(),
     )
 }
 
@@ -212,7 +281,9 @@ pub fn run_elastic_with(
 /// runtime families (see [`disttrain_core::record_iteration_metrics`]), the
 /// elastic machinery its failure / spare-swap / shrink / rollback /
 /// checkpoint counters and the re-plan solver wall time, and the run closes
-/// with goodput-fraction and degraded-seconds gauges.
+/// with goodput-fraction and degraded-seconds gauges. Healer actions and
+/// failures additionally land in a flight-recorder ring on `flight`
+/// (dumped per healer action); a disabled log costs nothing.
 #[allow(clippy::too_many_arguments)]
 pub fn run_elastic_instrumented(
     task: &TrainingTask,
@@ -222,10 +293,27 @@ pub fn run_elastic_instrumented(
     ckpt_dir: &Path,
     rec: &mut TraceRecorder,
     tel: &Telemetry,
+    flight: &FlightLog,
 ) -> Result<ElasticReport, ElasticError> {
     let initial_nodes = task.cluster.num_nodes;
-    let mut stream = FailureStream::new(initial_nodes, elastic.node_mtbf, elastic.failure_seed);
-    let mut spares_left = elastic.spare_nodes;
+    let mut stream = FailureStream::with_topology(
+        initial_nodes,
+        elastic.node_mtbf,
+        elastic.failure_seed,
+        elastic.topology,
+    );
+    let domains = elastic.topology.map_or(1, |t| t.domains(initial_nodes));
+    let mut spares = SparePool::new(elastic.spare_nodes, domains);
+    let mut healer = elastic.healer.map(Healer::new);
+    let mut healer_actions: Vec<HealerEvent> = Vec::new();
+    // Slots currently occupied by a slow replacement spare (only tracked
+    // when `spare_slowdown > 1`); while non-empty the whole synchronous
+    // job runs at the spare's pace.
+    let mut slow_slots: Vec<u32> = Vec::new();
+    // Iteration of the newest durable checkpoint (for the healer's
+    // "is there anything unsaved" guard).
+    let mut saved_at: u32 = 0;
+    let frec = flight.recorder("elastic-healer", 64);
     let mut mgr = CheckpointManager::new(ckpt_dir)?;
 
     let mut cur_task = task.clone();
@@ -279,6 +367,7 @@ pub fn run_elastic_instrumented(
                 elastic.checkpoint_cost,
                 elastic.node_mtbf,
                 stream.active(),
+                elastic.topology.as_ref(),
                 iter_est,
             );
             epochs.push(PlanEpoch {
@@ -292,20 +381,54 @@ pub fn run_elastic_instrumented(
             while it < iterations {
                 let batch = batch_for(it);
                 let report = runtime.simulate_iteration(&perf, &batch);
-                let iter_end = wall.now + report.iter_time;
+                // A slow replacement spare paces the whole synchronous
+                // job; the excess over the plan's own iteration time is
+                // lost capacity, not committed work.
+                let pace =
+                    if slow_slots.is_empty() { 1.0 } else { elastic.spare_slowdown.max(1.0) };
+                let paced = SimDuration::from_secs_f64(report.iter_time.as_secs_f64() * pace);
+                // Precursor symptoms: an ailing node stalls the
+                // iterations that land within `precursor_window` of its
+                // upcoming failure — the signal the healer's stall-burst
+                // detector converts into a preemptive checkpoint.
+                let mut precursor = SimDuration::ZERO;
+                if elastic.precursor_stall > SimDuration::ZERO {
+                    if let Some(f) = stream.peek() {
+                        if f.at < wall.now + paced + elastic.precursor_window {
+                            precursor = elastic.precursor_stall;
+                        }
+                    }
+                }
+                let iter_wall = paced + precursor;
+                let iter_end = wall.now + iter_wall;
 
                 let hit = stream.peek().filter(|f| f.at < iter_end);
-                if let Some(f) = hit {
-                    stream.pop();
+                if let Some(first) = hit {
+                    // Pop every victim of the same instant: a correlated
+                    // domain event expands into one failure per live slot
+                    // in the rack, and the job restarts *once* for the
+                    // whole blast.
+                    let mut victims: Vec<NodeFailure> = Vec::new();
+                    if let Some(v) = stream.pop_with_repair(elastic.restart_overhead) {
+                        victims.push(v);
+                    }
+                    if first.correlated {
+                        while stream.peek().is_some_and(|n| n.correlated && n.at == first.at) {
+                            match stream.pop_with_repair(elastic.restart_overhead) {
+                                Some(v) => victims.push(v),
+                                None => break,
+                            }
+                        }
+                    }
                     // The in-flight partial burns down as lost time (zero
                     // if the failure instant predates this iteration, i.e.
                     // it struck during an overhead window we already
                     // charged elsewhere).
                     let partial =
-                        if f.at > wall.now { f.at - wall.now } else { SimDuration::ZERO };
+                        if first.at > wall.now { first.at - wall.now } else { SimDuration::ZERO };
                     if rec.is_enabled() {
                         rec.record(TraceSpan::new(
-                            format!("failure@{it}:node{}", f.node),
+                            format!("failure@{it}:node{}x{}", first.node, victims.len()),
                             cat::FAILURE,
                             trainer_pid,
                             2,
@@ -315,8 +438,21 @@ pub fn run_elastic_instrumented(
                     }
                     wall.advance(partial);
                     g.lost += partial;
-                    g.failures += 1;
-                    tel.with(|r| r.counter(names::ELASTIC_FAILURES_TOTAL, &[]).inc());
+                    g.failures += victims.len() as u32;
+                    tel.with(|r| {
+                        r.counter(names::ELASTIC_FAILURES_TOTAL, &[]).add(victims.len() as u64)
+                    });
+                    if first.correlated {
+                        tel.with(|r| r.counter(names::ELASTIC_DOMAIN_EVENTS_TOTAL, &[]).inc());
+                    }
+                    frec.record("failure", 0, || {
+                        format!(
+                            "it={it} victims={} correlated={} first_node={}",
+                            victims.len(),
+                            first.correlated,
+                            first.node
+                        )
+                    });
 
                     // Roll back to the newest durable checkpoint: the
                     // committed-but-unsaved iterations become lost work.
@@ -348,32 +484,66 @@ pub fn run_elastic_instrumented(
                         rec.set_origin(rec.origin() + elastic.restart_overhead);
                     }
 
-                    let action = if spares_left > 0 {
-                        // A hot spare takes over the slot in place; the
-                        // slot's failure stream continues for the
-                        // replacement hardware.
-                        spares_left -= 1;
-                        tel.with(|r| r.counter(names::ELASTIC_SPARE_SWAPS_TOTAL, &[]).inc());
-                        RecoveryAction::SpareSwap
-                    } else {
-                        tel.with(|r| r.counter(names::ELASTIC_SHRINKS_TOTAL, &[]).inc());
-                        RecoveryAction::Shrink
-                    };
-                    failures.push(FailureEvent {
-                        node: f.node,
-                        at: f.at,
-                        iteration: it,
-                        action,
-                        resumed_from: resume_at,
-                    });
+                    // A correlated event destroys the spares parked in
+                    // its own domain before any of them can swap in —
+                    // the payoff of parking spares across domains.
+                    if first.correlated {
+                        if let Some(t) = &elastic.topology {
+                            let burned = spares.destroy_in(t.domain_of(first.node));
+                            if burned > 0 {
+                                tel.with(|r| {
+                                    r.counter(names::ELASTIC_SPARES_LOST_TOTAL, &[])
+                                        .add(u64::from(burned))
+                                });
+                            }
+                        }
+                    }
+                    let mut shrink_nodes = 0u32;
+                    for v in &victims {
+                        let domain =
+                            elastic.topology.as_ref().map_or(0, |t| t.domain_of(v.node));
+                        let action = if spares.take_preferring_other(domain) {
+                            // A hot spare takes over the slot in place;
+                            // the slot's failure stream continues for the
+                            // replacement hardware.
+                            tel.with(|r| r.counter(names::ELASTIC_SPARE_SWAPS_TOTAL, &[]).inc());
+                            if elastic.spare_slowdown > 1.0 && !slow_slots.contains(&v.node) {
+                                slow_slots.push(v.node);
+                            }
+                            RecoveryAction::SpareSwap
+                        } else {
+                            tel.with(|r| r.counter(names::ELASTIC_SHRINKS_TOTAL, &[]).inc());
+                            stream.retire(v.node);
+                            slow_slots.retain(|&n| n != v.node);
+                            shrink_nodes += 1;
+                            RecoveryAction::Shrink
+                        };
+                        failures.push(FailureEvent {
+                            node: v.node,
+                            at: v.at,
+                            iteration: it,
+                            action,
+                            resumed_from: resume_at,
+                            correlated: v.correlated,
+                        });
+                    }
                     it = resume_at;
+                    saved_at = resume_at;
 
-                    if action == RecoveryAction::Shrink {
-                        g.shrinks += 1;
-                        stream.retire(f.node);
+                    if shrink_nodes > 0 {
+                        if stream.active() == 0 {
+                            return Err(ElasticError::NoProgress {
+                                committed: resume_at,
+                                requested: iterations,
+                            });
+                        }
+                        g.shrinks += shrink_nodes;
                         let shrunk = cur_task
-                            .shrunk(1)
-                            .ok_or_else(|| ElasticError::Infeasible("no node left".into()))?;
+                            .shrunk(shrink_nodes)
+                            .ok_or(ElasticError::NoProgress {
+                                committed: resume_at,
+                                requested: iterations,
+                            })?;
                         let ctx = replan_ctx.get_or_insert_with(|| task.replan_context());
                         let search_started = std::time::Instant::now();
                         let new_plan = shrunk.replan_shrunk_warm(&cur_plan, ctx).map_err(|e| {
@@ -421,10 +591,17 @@ pub fn run_elastic_instrumented(
                 if rec.is_enabled() {
                     let traced = runtime.simulate_iteration_traced(&perf, &batch, rec);
                     debug_assert_eq!(traced.iter_time, report.iter_time);
-                    rec.set_origin(rec.origin() + report.iter_time);
+                    rec.set_origin(rec.origin() + iter_wall);
                 }
-                wall.advance(report.iter_time);
+                if pace > 1.0 {
+                    // Slow-spare time is degraded capacity until the
+                    // healer (or a shrink) evicts the slow slots.
+                    wall.degraded = true;
+                }
+                wall.advance(iter_wall);
                 g.committed += report.iter_time;
+                // Pace excess and precursor stall are lost capacity.
+                g.lost += iter_wall - report.iter_time;
                 record_iteration_metrics(tel, wall.now, &report, peak);
                 committed.push(report);
                 it += 1;
@@ -435,6 +612,7 @@ pub fn run_elastic_instrumented(
                         plan: cur_plan,
                         seed: runtime.cfg.seed,
                     })?;
+                    saved_at = it;
                     wall.advance(elastic.checkpoint_cost);
                     g.checkpoint += elastic.checkpoint_cost;
                     g.checkpoints += 1;
@@ -449,6 +627,141 @@ pub fn run_elastic_instrumented(
                             elastic.checkpoint_cost,
                         ));
                         rec.set_origin(rec.origin() + elastic.checkpoint_cost);
+                    }
+                }
+
+                // The watcher→healer loop: feed the committed iteration's
+                // *observed* series (paced wall time, paced-down MFU, the
+                // stall including precursor symptoms) to the online
+                // detector and act on its verdicts.
+                let Some(h) = healer.as_mut() else { continue };
+                let stall_obs =
+                    report.preprocess_stall.as_secs_f64() + precursor.as_secs_f64();
+                let Some((action, trigger)) =
+                    h.observe(iter_wall.as_secs_f64(), report.mfu(peak) / pace, stall_obs)
+                else {
+                    continue;
+                };
+                match action {
+                    HealerAction::PreemptiveCheckpoint => {
+                        // Save *now*, off-cadence: the detector predicts
+                        // an imminent failure, and a fresh checkpoint
+                        // moves the rollback target right next to it.
+                        // Nothing to do when the cadence just saved.
+                        if it > saved_at {
+                            mgr.save_async(&TrainingState {
+                                iteration: it,
+                                plan: cur_plan,
+                                seed: runtime.cfg.seed,
+                            })?;
+                            saved_at = it;
+                            wall.advance(elastic.checkpoint_cost);
+                            g.checkpoint += elastic.checkpoint_cost;
+                            g.checkpoints += 1;
+                            healer_actions.push(HealerEvent { iteration: it, action, trigger });
+                            tel.with(|r| {
+                                r.counter(names::ELASTIC_CHECKPOINTS_TOTAL, &[]).inc();
+                                r.counter(
+                                    names::HEALER_ACTIONS_TOTAL,
+                                    &[("action", action.name())],
+                                )
+                                .inc();
+                            });
+                            if rec.is_enabled() {
+                                rec.record(TraceSpan::new(
+                                    format!("heal-checkpoint@{it}"),
+                                    cat::CHECKPOINT,
+                                    trainer_pid,
+                                    1,
+                                    SimTime::ZERO,
+                                    elastic.checkpoint_cost,
+                                ));
+                                rec.set_origin(rec.origin() + elastic.checkpoint_cost);
+                            }
+                            frec.record("healer-action", 0, || {
+                                format!(
+                                    "preemptive-checkpoint@{it} trigger={}",
+                                    trigger.name()
+                                )
+                            });
+                            frec.dump("healer:preemptive-checkpoint");
+                        }
+                    }
+                    HealerAction::ProactiveReplan => {
+                        // Evict the slow slots and warm-replan the
+                        // survivors. Only meaningful while a slow spare
+                        // is pacing the job; a verdict with nothing to
+                        // evict is ignored.
+                        if slow_slots.is_empty() {
+                            continue;
+                        }
+                        // Checkpoint first: the rollback invariant
+                        // (newest durable checkpoint ≥ every plan-epoch
+                        // boundary) must survive the reshard, or a later
+                        // failure would roll back across the boundary
+                        // under the wrong plan.
+                        if it > saved_at {
+                            mgr.save_async(&TrainingState {
+                                iteration: it,
+                                plan: cur_plan,
+                                seed: runtime.cfg.seed,
+                            })?;
+                            saved_at = it;
+                            wall.advance(elastic.checkpoint_cost);
+                            g.checkpoint += elastic.checkpoint_cost;
+                            g.checkpoints += 1;
+                            tel.with(|r| r.counter(names::ELASTIC_CHECKPOINTS_TOTAL, &[]).inc());
+                        }
+                        let evicted = slow_slots.len() as u32;
+                        for n in slow_slots.drain(..) {
+                            stream.retire(n);
+                        }
+                        g.shrinks += evicted;
+                        let shrunk = cur_task.shrunk(evicted).ok_or(
+                            ElasticError::NoProgress { committed: it, requested: iterations },
+                        )?;
+                        let ctx = replan_ctx.get_or_insert_with(|| task.replan_context());
+                        let search_started = std::time::Instant::now();
+                        let new_plan =
+                            shrunk.replan_shrunk_warm(&cur_plan, ctx).map_err(|e| {
+                                ElasticError::Infeasible(format!(
+                                    "no plan for {} nodes: {e}",
+                                    shrunk.cluster.num_nodes
+                                ))
+                            })?;
+                        let search_wall = search_started.elapsed();
+                        replan_search += search_wall;
+                        wall.advance(elastic.reshard_cost);
+                        g.reshard += elastic.reshard_cost;
+                        wall.degraded = true;
+                        healer_actions.push(HealerEvent { iteration: it, action, trigger });
+                        tel.with(|r| {
+                            r.histogram(names::ELASTIC_REPLAN_SEARCH_SECONDS, &[])
+                                .observe(search_wall.as_secs_f64());
+                            r.counter(names::ELASTIC_SHRINKS_TOTAL, &[]).add(u64::from(evicted));
+                            r.counter(names::HEALER_ACTIONS_TOTAL, &[("action", action.name())])
+                                .inc();
+                        });
+                        if rec.is_enabled() {
+                            rec.record(TraceSpan::new(
+                                format!("heal-reorch@{it}:nodes{}", shrunk.cluster.num_nodes),
+                                cat::REORCH,
+                                trainer_pid,
+                                2,
+                                SimTime::ZERO,
+                                elastic.reshard_cost,
+                            ));
+                            rec.set_origin(rec.origin() + elastic.reshard_cost);
+                        }
+                        frec.record("healer-action", 0, || {
+                            format!(
+                                "proactive-replan@{it} evicted={evicted} trigger={}",
+                                trigger.name()
+                            )
+                        });
+                        frec.dump("healer:proactive-replan");
+                        next = Some((shrunk, new_plan));
+                        break;
                     }
                 }
             }
@@ -473,6 +786,7 @@ pub fn run_elastic_instrumented(
         report: TrainingReport { iterations: committed, peak_flops_per_gpu: peak },
         epochs,
         failures,
+        healer_actions,
         goodput: g,
         replan_search,
     })
@@ -481,7 +795,9 @@ pub fn run_elastic_instrumented(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::healer::HealerConfig;
     use crate::policy::CheckpointPolicy;
+    use crate::topology::FailureTopology;
     use disttrain_core::RuntimeConfig;
     use dt_model::MllmPreset;
 
@@ -507,6 +823,11 @@ mod tests {
             checkpoint_cost: secs(1.0),
             restart_overhead: secs(5.0),
             reshard_cost: secs(3.0),
+            topology: None,
+            healer: None,
+            precursor_window: SimDuration::ZERO,
+            precursor_stall: SimDuration::ZERO,
+            spare_slowdown: 1.0,
         }
     }
 
@@ -654,6 +975,171 @@ mod tests {
         assert_eq!(ro.dur, elastic.reshard_cost);
         rec.validate_nesting().expect("elastic spans stay disjoint per track");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn correlated_blast_fails_a_whole_domain_at_once() {
+        // Node failures off (astronomical MTBF); only correlated domain
+        // events fire. With no spares, one event shrinks the cluster by
+        // every live slot in the rack in a single recovery.
+        let task = ablation_task();
+        let mut elastic = harsh_plan();
+        elastic.node_mtbf = secs(1e12);
+        elastic.spare_nodes = 0;
+        elastic.failure_seed = 3;
+        elastic.topology = Some(FailureTopology::new(4, secs(60.0)));
+        let dir = tempdir("blast");
+        let out = run_elastic(&task, 8, &elastic, &dir).unwrap();
+
+        let correlated: Vec<_> = out.failures.iter().filter(|f| f.correlated).collect();
+        assert!(correlated.len() >= 2, "need a multi-victim blast: {:?}", out.failures);
+        // Every victim of the first blast died at the same instant, in the
+        // same domain, and the whole blast restarted the job once.
+        let first_at = correlated[0].at;
+        let batch: Vec<_> = correlated.iter().filter(|f| f.at == first_at).collect();
+        assert!(batch.len() >= 2, "a domain event must take out several slots");
+        let topo = elastic.topology.unwrap();
+        let d0 = topo.domain_of(batch[0].node);
+        for f in &batch {
+            assert_eq!(topo.domain_of(f.node), d0, "blast crossed a domain boundary");
+            assert_eq!(f.action, RecoveryAction::Shrink);
+            assert_eq!(f.resumed_from, batch[0].resumed_from);
+        }
+        // One shrink recovery for the whole batch: nodes drop by the batch
+        // size between consecutive epochs.
+        assert!(out.epochs.len() >= 2);
+        assert_eq!(out.epochs[0].nodes - out.epochs[1].nodes, batch.len() as u32);
+        out.goodput.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spares_prefer_domains_outside_the_blast_radius() {
+        // Spares parked round-robin over 3 domains; an independent failure
+        // in domain 0 must be absorbed without pulling domain-0 spares
+        // first (observable indirectly: a later correlated event in the
+        // *same* domain still finds its parked spare to destroy).
+        let task = ablation_task();
+        let mut elastic = harsh_plan();
+        elastic.spare_nodes = 3;
+        elastic.topology = Some(FailureTopology::new(4, secs(1e12)));
+        let dir = tempdir("spare-topo");
+        let out = run_elastic(&task, 8, &elastic, &dir).unwrap();
+        assert!(out.goodput.failures >= 1);
+        // With 3 spares over this failure pattern the first failures are
+        // all absorbed in place.
+        assert!(out.failures.iter().any(|f| f.action == RecoveryAction::SpareSwap));
+        out.goodput.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn healer_preemptively_checkpoints_on_precursor_stall_bursts() {
+        // An ailing node stalls for `precursor_window` before it dies; the
+        // healer's stall-burst detector must convert that into an
+        // off-cadence checkpoint *before* the failure lands, which shrinks
+        // the rollback. Flight recorder + metrics observe the action.
+        let task = ablation_task();
+        let mut elastic = harsh_plan();
+        elastic.checkpoint = CheckpointPolicy::Fixed(50); // cadence out of the way
+        elastic.healer = Some(HealerConfig::default());
+        elastic.precursor_window = secs(12.0);
+        elastic.precursor_stall = secs(2.0);
+        elastic.node_mtbf = secs(400.0);
+        elastic.failure_seed = 9;
+        let dir = tempdir("heal-ckpt");
+        let tel = Telemetry::enabled();
+        let flight = FlightLog::new();
+        let plan = task.plan(SystemKind::DistTrain).unwrap();
+        let out = run_elastic_instrumented(
+            &task,
+            16,
+            &elastic,
+            plan,
+            &dir,
+            &mut TraceRecorder::disabled(),
+            &tel,
+            &flight,
+        )
+        .unwrap();
+
+        let saves: Vec<_> = out
+            .healer_actions
+            .iter()
+            .filter(|e| e.action == HealerAction::PreemptiveCheckpoint)
+            .collect();
+        assert!(!saves.is_empty(), "no preemptive checkpoint: {:?}", out.healer_actions);
+        assert!(saves
+            .iter()
+            .all(|e| e.trigger == dt_telemetry::AnomalyKind::PreprocessStallBurst));
+        let snap = tel.snapshot();
+        let n = snap
+            .counter_value(names::HEALER_ACTIONS_TOTAL, &[("action", "preemptive-checkpoint")])
+            .unwrap_or(0);
+        assert_eq!(n, saves.len() as u64, "counter must match the action log");
+        assert!(flight.dumps_total() >= 1, "each healer action dumps the flight ring");
+        assert!(flight.dumps().iter().any(|d| d.reason == "healer:preemptive-checkpoint"));
+        out.goodput.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn healer_evicts_a_slow_spare_via_proactive_replan() {
+        // A slow replacement spare paces the whole job at 1.6×; the healer
+        // must notice the persistent slowness and trade a one-time
+        // reshard (evicting the slow slot) for full-pace iterations.
+        let task = ablation_task();
+        let mut elastic = harsh_plan();
+        elastic.node_mtbf = secs(400.0);
+        elastic.failure_seed = 11;
+        elastic.spare_nodes = 1;
+        elastic.checkpoint = CheckpointPolicy::Fixed(50);
+        elastic.healer = Some(HealerConfig::default());
+        elastic.spare_slowdown = 1.6;
+        let dir = tempdir("heal-evict");
+        let out = run_elastic(&task, 14, &elastic, &dir).unwrap();
+
+        assert!(
+            out.failures.iter().any(|f| f.action == RecoveryAction::SpareSwap),
+            "the spare must swap in first: {:?}",
+            out.failures
+        );
+        let replans: Vec<_> = out
+            .healer_actions
+            .iter()
+            .filter(|e| e.action == HealerAction::ProactiveReplan)
+            .collect();
+        assert!(!replans.is_empty(), "no proactive replan: {:?}", out.healer_actions);
+        // The eviction opens a new (smaller) plan epoch and the time spent
+        // paced by the slow spare is attributed as degraded + lost.
+        assert!(out.epochs.len() >= 2);
+        assert!(out.epochs.last().unwrap().nodes < out.epochs[0].nodes);
+        assert!(out.goodput.degraded > SimDuration::ZERO);
+        assert!(out.goodput.lost > SimDuration::ZERO);
+        out.goodput.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn healer_action_sequence_is_bit_reproducible() {
+        let task = ablation_task();
+        let mut elastic = harsh_plan();
+        elastic.node_mtbf = secs(400.0);
+        elastic.failure_seed = 11;
+        elastic.checkpoint = CheckpointPolicy::Fixed(50);
+        elastic.healer = Some(HealerConfig::default());
+        elastic.spare_slowdown = 1.6;
+        elastic.precursor_window = secs(12.0);
+        elastic.precursor_stall = secs(2.0);
+        let d1 = tempdir("heal-det1");
+        let d2 = tempdir("heal-det2");
+        let a = run_elastic(&task, 12, &elastic, &d1).unwrap();
+        let b = run_elastic(&task, 12, &elastic, &d2).unwrap();
+        assert_eq!(a.healer_actions, b.healer_actions);
+        assert_eq!(a.goodput, b.goodput);
+        assert!(!a.healer_actions.is_empty(), "scenario must exercise the healer");
+        std::fs::remove_dir_all(&d1).unwrap();
+        std::fs::remove_dir_all(&d2).unwrap();
     }
 
     #[test]

@@ -12,12 +12,23 @@
 //! work is invalidated by an epoch counter (the queue has no cancel API —
 //! stale events simply no-op).
 //!
+//! With a [`FailureTopology`] the failure process gains a correlated
+//! layer: a domain event fails every live slot in one rack at one
+//! instant. The epoch guard collapses the same-instant victims into a
+//! *single* rollback + restart, so a k-node blast still counts as one
+//! interruption — which is exactly the event-rate view under which the
+//! correlated Young–Daly optimum
+//! ([`young_daly_interval_correlated`](crate::policy::young_daly_interval_correlated))
+//! is derived, and what the correlated validation test checks here.
+//!
 //! [`exhaustive_best_interval`] grid-searches the interval over this
 //! machine, which is how the repo *proves* (in a test, not a doc claim)
 //! that `√(2·C·M)` lands within one grid step of the simulated optimum.
 
 use crate::goodput::GoodputReport;
+use crate::run::ElasticError;
 use crate::stream::FailureStream;
+use crate::topology::FailureTopology;
 use dt_simengine::{SimDuration, SimTime, Simulator};
 
 /// The checkpoint–restart machine description.
@@ -39,11 +50,21 @@ pub struct MachineConfig {
     pub node_mtbf: SimDuration,
     /// Failure-stream seed.
     pub failure_seed: u64,
+    /// Correlated rack/switch domains layered on top of the independent
+    /// per-node process. `None` keeps the classic independent model.
+    pub topology: Option<FailureTopology>,
+    /// Spare pool: `None` repairs every failure in place (unlimited
+    /// spares, the classic machine); `Some(k)` consumes one spare per
+    /// failed slot and *retires* slots once the pool is dry — a large
+    /// enough blast radius can then destroy every slot and stall the
+    /// machine, which surfaces as [`ElasticError::NoProgress`].
+    pub spares: Option<u32>,
 }
 
 struct Machine {
     cfg: MachineConfig,
     stream: FailureStream,
+    spares_left: Option<u32>,
     /// Committed iterations.
     done: u32,
     /// Iteration of the newest durable checkpoint.
@@ -89,12 +110,28 @@ fn schedule_iteration(sim: &mut Simulator<Machine>, m: &Machine) {
 fn schedule_next_failure(sim: &mut Simulator<Machine>, m: &Machine) {
     if let Some(f) = m.stream.peek() {
         sim.schedule_at(f.at, move |sim, m: &mut Machine| {
-            m.stream.pop();
+            // The replacement only occupies the slot once the restart
+            // completes, so the slot's next gap starts at recovery time.
+            let Some(f) = m.stream.pop_with_repair(m.cfg.restart_overhead) else {
+                return; // every slot retired since this was scheduled
+            };
             if m.finished_at.is_some() {
                 return; // run already over; let the queue drain
             }
+            // Spare accounting: a dry pool retires the slot (the cluster
+            // shrank); `None` means repair-in-place forever.
+            if let Some(left) = m.spares_left.as_mut() {
+                if *left > 0 {
+                    *left -= 1;
+                } else {
+                    m.stream.retire(f.node);
+                }
+            }
             // Roll back to the durable checkpoint: committed-but-unsaved
             // iterations and the in-flight partial both become lost work.
+            // Same-instant victims of a domain event land here once each,
+            // but after the first the rollback is empty and the epoch
+            // bump cancels the earlier restart — one interruption total.
             let rolled = m.cfg.iter_time * u64::from(m.done - m.ckpt_iter);
             m.acc.committed -= rolled;
             m.acc.lost += rolled;
@@ -103,6 +140,12 @@ fn schedule_next_failure(sim: &mut Simulator<Machine>, m: &Machine) {
             m.acc.failures += 1;
             m.epoch += 1;
             m.last_progress = sim.now();
+            if m.stream.active() == 0 {
+                // Every slot is gone and the spare pool is dry: nothing
+                // can host the job. No restart is scheduled; the queue
+                // drains and the stall surfaces as `NoProgress`.
+                return;
+            }
             let epoch = m.epoch;
             sim.schedule_in(m.cfg.restart_overhead, move |sim, m: &mut Machine| {
                 if m.epoch != epoch {
@@ -118,10 +161,20 @@ fn schedule_next_failure(sim: &mut Simulator<Machine>, m: &Machine) {
 }
 
 /// Run the machine to completion and account for every wall-clock second.
-pub fn simulate_goodput(cfg: &MachineConfig) -> GoodputReport {
+///
+/// Errors with [`ElasticError::NoProgress`] when the failure process
+/// destroys every node slot (spare pool dry, blast radius too large)
+/// before the requested iterations commit.
+pub fn simulate_goodput(cfg: &MachineConfig) -> Result<GoodputReport, ElasticError> {
     let mut m = Machine {
         cfg: *cfg,
-        stream: FailureStream::new(cfg.nodes, cfg.node_mtbf, cfg.failure_seed),
+        stream: FailureStream::with_topology(
+            cfg.nodes,
+            cfg.node_mtbf,
+            cfg.failure_seed,
+            cfg.topology,
+        ),
+        spares_left: cfg.spares,
         done: 0,
         ckpt_iter: 0,
         epoch: 0,
@@ -133,15 +186,24 @@ pub fn simulate_goodput(cfg: &MachineConfig) -> GoodputReport {
     schedule_iteration(&mut sim, &m);
     schedule_next_failure(&mut sim, &m);
     sim.run(&mut m);
-    let end = m.finished_at.expect("the machine always finishes");
+    let Some(end) = m.finished_at else {
+        return Err(ElasticError::NoProgress {
+            committed: m.done,
+            requested: cfg.iterations,
+        });
+    };
     m.acc.total_wall = end - SimTime::ZERO;
-    m.acc
+    Ok(m.acc)
 }
 
 /// Exhaustively search `grid` (checkpoint intervals in iterations) on the
 /// simulator, averaging goodput over `seeds` independent failure
 /// timelines, and return the interval with the highest mean goodput.
-pub fn exhaustive_best_interval(cfg: &MachineConfig, grid: &[u32], seeds: &[u64]) -> u32 {
+pub fn exhaustive_best_interval(
+    cfg: &MachineConfig,
+    grid: &[u32],
+    seeds: &[u64],
+) -> Result<u32, ElasticError> {
     assert!(!grid.is_empty() && !seeds.is_empty());
     let mut best = (f64::NEG_INFINITY, grid[0]);
     for &interval in grid {
@@ -150,20 +212,22 @@ pub fn exhaustive_best_interval(cfg: &MachineConfig, grid: &[u32], seeds: &[u64]
             let mut c = *cfg;
             c.checkpoint_interval = interval;
             c.failure_seed = seed;
-            total += simulate_goodput(&c).goodput();
+            total += simulate_goodput(&c)?.goodput();
         }
         let mean = total / seeds.len() as f64;
         if mean > best.0 {
             best = (mean, interval);
         }
     }
-    best.1
+    Ok(best.1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{interval_in_iterations, young_daly_interval};
+    use crate::policy::{
+        interval_in_iterations, young_daly_interval, young_daly_interval_correlated,
+    };
 
     fn secs(s: f64) -> SimDuration {
         SimDuration::from_secs_f64(s)
@@ -179,6 +243,8 @@ mod tests {
             nodes: 16,
             node_mtbf: secs(50_000.0),
             failure_seed: 1,
+            topology: None,
+            spares: None,
         }
     }
 
@@ -187,7 +253,7 @@ mod tests {
         for seed in 0..20 {
             let mut c = cfg();
             c.failure_seed = seed;
-            let g = simulate_goodput(&c);
+            let g = simulate_goodput(&c).unwrap();
             g.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(g.committed, secs(2_000.0), "seed {seed}: exactly N iterations commit");
             assert!(g.goodput() > 0.0 && g.goodput() <= 1.0);
@@ -195,10 +261,22 @@ mod tests {
     }
 
     #[test]
+    fn correlated_accounting_partitions_the_wall_clock() {
+        for seed in 0..20 {
+            let mut c = cfg();
+            c.topology = Some(FailureTopology::new(4, secs(5_000.0)));
+            c.failure_seed = seed;
+            let g = simulate_goodput(&c).unwrap();
+            g.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(g.committed, secs(2_000.0), "seed {seed}");
+        }
+    }
+
+    #[test]
     fn no_failures_means_no_lost_time() {
         let mut c = cfg();
         c.node_mtbf = secs(1e12); // failures effectively never
-        let g = simulate_goodput(&c);
+        let g = simulate_goodput(&c).unwrap();
         assert_eq!(g.failures, 0);
         assert_eq!(g.lost, SimDuration::ZERO);
         assert_eq!(g.restart, SimDuration::ZERO);
@@ -210,7 +288,7 @@ mod tests {
     fn failures_cost_lost_and_restart_time() {
         let mut c = cfg();
         c.iterations = 10_000;
-        let g = simulate_goodput(&c);
+        let g = simulate_goodput(&c).unwrap();
         assert!(g.failures > 0, "10ks horizon at 3.1ks system MTBF must fail");
         assert!(g.lost > SimDuration::ZERO);
         assert!(g.restart >= c.restart_overhead);
@@ -225,11 +303,44 @@ mod tests {
         let mut c = cfg();
         c.iterations = 8_000;
         c.checkpoint_interval = 100;
-        let g = simulate_goodput(&c);
+        let g = simulate_goodput(&c).unwrap();
         if g.failures > 0 {
             let per_failure = g.lost.as_secs_f64() / f64::from(g.failures);
             let bound = 100.0 * 1.0 + 25.0 + 60.0; // k·t + C + in-flight restart
             assert!(per_failure <= bound, "mean lost/failure {per_failure:.1}s > {bound}s");
+        }
+    }
+
+    /// A bounded spare pool that never runs out behaves exactly like the
+    /// classic repair-in-place machine.
+    #[test]
+    fn an_ample_spare_pool_is_repair_in_place() {
+        let mut c = cfg();
+        c.iterations = 5_000;
+        let unlimited = simulate_goodput(&c).unwrap();
+        c.spares = Some(10_000);
+        let ample = simulate_goodput(&c).unwrap();
+        assert_eq!(unlimited, ample);
+    }
+
+    /// Satellite-2 regression: exhausting the spare pool under a
+    /// whole-cluster blast radius stalls the machine, which must surface
+    /// as a typed `NoProgress` error — never a panic.
+    #[test]
+    fn spare_exhaustion_surfaces_as_no_progress() {
+        let mut c = cfg();
+        c.iterations = 10_000;
+        // One domain covering every node: the first domain event (MTBF
+        // 400s, horizon 10ks) retires the whole cluster.
+        c.topology = Some(FailureTopology::new(16, secs(400.0)));
+        c.spares = Some(0);
+        match simulate_goodput(&c) {
+            Err(ElasticError::NoProgress { committed, requested }) => {
+                assert!(committed < requested);
+                assert_eq!(requested, 10_000);
+            }
+            Err(other) => panic!("expected NoProgress, got {other}"),
+            Ok(g) => panic!("machine cannot finish with every node dead: {g:?}"),
         }
     }
 
@@ -243,7 +354,7 @@ mod tests {
         let step = 100u32;
         let grid: Vec<u32> = (1..=12).map(|k| k * step).collect();
         let seeds: Vec<u64> = (0..6).collect();
-        let best = exhaustive_best_interval(&base, &grid, &seeds);
+        let best = exhaustive_best_interval(&base, &grid, &seeds).unwrap();
         let yd = interval_in_iterations(
             young_daly_interval(base.checkpoint_cost, base.node_mtbf, base.nodes),
             base.iter_time,
@@ -253,6 +364,40 @@ mod tests {
         assert!(
             diff <= step,
             "Young–Daly {yd} vs exhaustive optimum {best}: off by {diff} > one grid step {step}"
+        );
+    }
+
+    /// Young–Daly re-validation under correlated MTBF: with domain events
+    /// in the mix the system MTBF is the reciprocal of the *summed* event
+    /// rates — the closed form with that M must still land within one
+    /// grid step of the exhaustive optimum.
+    #[test]
+    fn correlated_young_daly_matches_exhaustive_search() {
+        let mut base = cfg();
+        base.iterations = 20_000;
+        // 16 nodes / 50ks + 4 racks / 12.5ks → rate 2/3125 → M_sys =
+        // 1562.5s, τ* = √(2·25·1562.5) ≈ 279.5s — nearly half the
+        // independent-only 395s, so the correlated term matters.
+        let topo = FailureTopology::new(4, secs(12_500.0));
+        base.topology = Some(topo);
+        let yd = interval_in_iterations(
+            young_daly_interval_correlated(
+                base.checkpoint_cost,
+                base.node_mtbf,
+                base.nodes,
+                Some(&topo),
+            ),
+            base.iter_time,
+        );
+        assert!((270..=290).contains(&yd), "analytic correlated YD ≈ 280, got {yd}");
+        let step = 100u32;
+        let grid: Vec<u32> = (1..=10).map(|k| k * step).collect();
+        let seeds: Vec<u64> = (0..8).collect();
+        let best = exhaustive_best_interval(&base, &grid, &seeds).unwrap();
+        let diff = yd.abs_diff(best);
+        assert!(
+            diff <= step,
+            "correlated Young–Daly {yd} vs exhaustive optimum {best}: off by {diff} > {step}"
         );
     }
 }

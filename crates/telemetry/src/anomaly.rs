@@ -129,6 +129,14 @@ fn mad_of(values: &[f64], m: f64) -> f64 {
     median(&devs)
 }
 
+/// The finite points of a baseline window. NaN/∞ samples (a torn read, a
+/// divide-by-zero upstream) must neither poison the median nor be judged
+/// themselves — the healer acts on these verdicts, so a degenerate
+/// baseline is worse than no verdict at all.
+fn finite(values: &[f64]) -> Vec<f64> {
+    values.iter().copied().filter(|v| v.is_finite()).collect()
+}
+
 impl AnomalyDetector {
     /// A detector with the given config.
     pub fn new(config: AnomalyConfig) -> Self {
@@ -139,12 +147,22 @@ impl AnomalyDetector {
     pub fn stragglers(&self, iter_times: &[f64]) -> Vec<Anomaly> {
         let c = &self.config;
         let mut out = Vec::new();
-        for i in c.min_history..iter_times.len() {
+        for i in c.min_history.max(1)..iter_times.len() {
             let lo = i.saturating_sub(c.window);
-            let win = &iter_times[lo..i];
-            let m = median_of(win);
-            let mad = mad_of(win, m);
+            let win = finite(&iter_times[lo..i]);
+            // A window too short (or too NaN-ridden) to carry min_history
+            // finite points cannot define a baseline; neither can a
+            // non-positive median (relative excess is meaningless), and a
+            // non-finite point is never itself a verdict.
+            if win.len() < c.min_history.max(1) {
+                continue;
+            }
+            let m = median_of(&win);
+            let mad = mad_of(&win, m);
             let x = iter_times[i];
+            if !x.is_finite() || m <= 0.0 {
+                continue;
+            }
             // 1.4826 scales MAD to a stddev-equivalent for normal data.
             let robust_cut = m + c.mad_k * 1.4826 * mad;
             if x > robust_cut && x > m * (1.0 + c.min_rel_excess) {
@@ -165,10 +183,21 @@ impl AnomalyDetector {
     pub fn mfu_regressions(&self, mfu: &[f64]) -> Vec<Anomaly> {
         let c = &self.config;
         let mut out = Vec::new();
-        let mut i = c.min_history;
+        let mut i = c.min_history.max(1);
         while i < mfu.len() {
             let lo = i.saturating_sub(c.window);
-            let baseline = median_of(&mfu[lo..i]);
+            let win = finite(&mfu[lo..i]);
+            if win.len() < c.min_history.max(1) {
+                i += 1;
+                continue;
+            }
+            let baseline = median_of(&win);
+            // A non-positive baseline cannot regress; NaN points compare
+            // false against any cut and so never open or extend a run.
+            if baseline <= 0.0 {
+                i += 1;
+                continue;
+            }
             let cut = baseline * (1.0 - c.mfu_drop);
             if mfu[i] < cut {
                 // Extend the run against the *same* baseline.
@@ -198,10 +227,17 @@ impl AnomalyDetector {
     pub fn stall_bursts(&self, stalls: &[f64]) -> Vec<Anomaly> {
         let c = &self.config;
         let mut out = Vec::new();
-        let mut i = c.min_history;
+        let mut i = c.min_history.max(1);
         while i < stalls.len() {
             let lo = i.saturating_sub(c.window);
-            let m = median_of(&stalls[lo..i]);
+            let win = finite(&stalls[lo..i]);
+            if win.len() < c.min_history.max(1) {
+                i += 1;
+                continue;
+            }
+            let m = median_of(&win);
+            // The absolute floor keeps an all-zero (MAD = 0) stall
+            // baseline from flagging noise; NaN points compare false.
             let cut = c.stall_min_secs.max(m * c.stall_ratio);
             if stalls[i] > cut {
                 let mut j = i;
@@ -234,6 +270,86 @@ impl AnomalyDetector {
         out.extend(self.stall_bursts(stalls));
         out.sort_by_key(|a| (a.start_index, a.end_index));
         out
+    }
+}
+
+/// [`AnomalyDetector`] run *online*: push one aligned sample
+/// (iteration time, MFU, preprocessing stall) per committed iteration
+/// and get back only the verdicts that end at the newest point — the
+/// shape a healer needs to convert detection into action while the run
+/// is still going.
+///
+/// Indices in returned [`Anomaly`] values are absolute (the number of
+/// pushes before the sample), even though internally the history is
+/// bounded: points older than several windows/runs are dropped, so
+/// memory is O(config) regardless of run length while rolling baselines
+/// (which only look back `window` points) are unaffected.
+/// Note that an *ongoing* burst/regression re-emits
+/// an (extended) verdict on every push while it lasts — callers that act
+/// on verdicts need their own hysteresis.
+#[derive(Debug, Clone)]
+pub struct OnlineAnomalyDetector {
+    detector: AnomalyDetector,
+    iter_times: Vec<f64>,
+    mfu: Vec<f64>,
+    stalls: Vec<f64>,
+    /// Absolute index of the first retained point.
+    offset: usize,
+}
+
+impl OnlineAnomalyDetector {
+    /// An online detector with the given thresholds.
+    pub fn new(config: AnomalyConfig) -> Self {
+        OnlineAnomalyDetector {
+            detector: AnomalyDetector::new(config),
+            iter_times: Vec::new(),
+            mfu: Vec::new(),
+            stalls: Vec::new(),
+            offset: 0,
+        }
+    }
+
+    /// Total samples ever pushed.
+    pub fn len(&self) -> usize {
+        self.offset + self.iter_times.len()
+    }
+
+    /// `true` before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push one aligned sample and return the verdicts that end at it
+    /// (empty while the series is clean), with absolute indices.
+    pub fn push(&mut self, iter_time: f64, mfu: f64, stall: f64) -> Vec<Anomaly> {
+        self.iter_times.push(iter_time);
+        self.mfu.push(mfu);
+        self.stalls.push(stall);
+        let newest = self.iter_times.len() - 1;
+        let mut out = self.detector.scan(&self.iter_times, &self.mfu, &self.stalls);
+        out.retain(|a| a.end_index == newest);
+        for a in &mut out {
+            a.start_index += self.offset;
+            a.end_index += self.offset;
+        }
+        self.trim();
+        out
+    }
+
+    /// Bound the retained history: no window or run can look back further
+    /// than `keep` points, so dropping older ones never changes a future
+    /// verdict. Amortized: drain only once the buffer doubles.
+    fn trim(&mut self) {
+        let c = &self.detector.config;
+        let keep = 4 * (c.window + c.min_history.max(1) + c.mfu_run.max(c.stall_run)).max(1);
+        let n = self.iter_times.len();
+        if n > 2 * keep {
+            let drop = n - keep;
+            self.iter_times.drain(..drop);
+            self.mfu.drain(..drop);
+            self.stalls.drain(..drop);
+            self.offset += drop;
+        }
     }
 }
 
@@ -314,6 +430,68 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_single_point_series_are_clean() {
+        let d = AnomalyDetector::default();
+        assert!(d.scan(&[], &[], &[]).is_empty());
+        assert!(d.scan(&[1.0], &[0.5], &[0.0]).is_empty());
+        // min_history = 0 must not judge against an empty window.
+        let degenerate = AnomalyDetector::new(AnomalyConfig {
+            min_history: 0,
+            ..AnomalyConfig::default()
+        });
+        assert!(degenerate.scan(&[1.0], &[0.5], &[0.2]).is_empty());
+        assert!(degenerate.stragglers(&[5.0, 5.0]).is_empty());
+    }
+
+    #[test]
+    fn window_shorter_than_min_history_is_never_judged() {
+        let d = AnomalyDetector::default(); // min_history = 3
+        // Two points of history: even an outrageous spike has no baseline.
+        assert!(d.stragglers(&[1.0, 1.0, 100.0]).is_empty());
+        assert!(d.mfu_regressions(&[0.5, 0.5, 0.01]).is_empty());
+        assert!(d.stall_bursts(&[0.0, 0.0, 9.0]).is_empty());
+    }
+
+    #[test]
+    fn mad_zero_baseline_still_flags_real_excess_only() {
+        let d = AnomalyDetector::default();
+        // Constant history → MAD = 0 → robust_cut collapses to the
+        // median; only the relative-excess guard stands. 10% above the
+        // baseline is under the 25% guard and must stay clean…
+        let mut xs = vec![2.0; 16];
+        xs[12] = 2.2;
+        assert!(d.stragglers(&xs).is_empty());
+        // …while a genuine 2× excursion is flagged.
+        xs[12] = 4.0;
+        let found = d.stragglers(&xs);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].start_index, 12);
+    }
+
+    #[test]
+    fn nan_points_are_rejected_not_flagged() {
+        let d = AnomalyDetector::default();
+        // NaN must neither be a straggler itself nor poison the baseline
+        // for the genuine spike after it.
+        let mut xs = vec![1.0; 16];
+        xs[8] = f64::NAN;
+        xs[12] = 4.0;
+        let found = d.stragglers(&xs);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].start_index, 12);
+        assert!(found[0].baseline.is_finite());
+        // A window of nothing but NaN has no baseline at all.
+        let all_nan = vec![f64::NAN; 10];
+        assert!(d.scan(&all_nan, &all_nan, &all_nan).is_empty());
+        // NaN never opens an MFU-regression or stall run.
+        let mut mfu = vec![0.5; 20];
+        for v in mfu.iter_mut().take(15).skip(10) {
+            *v = f64::NAN;
+        }
+        assert!(d.mfu_regressions(&mfu).is_empty());
+    }
+
+    #[test]
     fn scan_orders_by_start_index() {
         let d = AnomalyDetector::default();
         let mut iter = vec![1.0; 24];
@@ -325,5 +503,70 @@ mod tests {
         assert_eq!(found.len(), 2);
         assert_eq!(found[0].kind, AnomalyKind::PreprocessStallBurst);
         assert_eq!(found[1].kind, AnomalyKind::StragglerIteration);
+    }
+
+    #[test]
+    fn online_detector_emits_only_newest_verdicts() {
+        let mut d = OnlineAnomalyDetector::new(AnomalyConfig::default());
+        for _ in 0..10 {
+            assert!(d.push(1.0, 0.5, 0.0).is_empty(), "clean series stays clean");
+        }
+        // A straggler fires on the push that commits it, not later.
+        let found = d.push(4.0, 0.5, 0.0);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AnomalyKind::StragglerIteration);
+        assert_eq!(found[0].start_index, 10);
+        // The next clean push does not re-report it.
+        assert!(d.push(1.0, 0.5, 0.0).is_empty());
+    }
+
+    #[test]
+    fn online_detector_flags_bursts_as_they_grow() {
+        let mut d = OnlineAnomalyDetector::new(AnomalyConfig::default());
+        for _ in 0..8 {
+            assert!(d.push(1.0, 0.5, 0.001).is_empty());
+        }
+        // stall_run = 2: the first burst point alone is not a verdict…
+        assert!(d.push(1.0, 0.5, 0.5).is_empty());
+        // …the second completes it (an ongoing burst re-emits extended).
+        let found = d.push(1.0, 0.5, 0.6);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AnomalyKind::PreprocessStallBurst);
+        assert_eq!((found[0].start_index, found[0].end_index), (8, 9));
+    }
+
+    #[test]
+    fn online_detector_matches_batch_scan_and_stays_bounded() {
+        // Absolute indices survive trimming: a long clean prefix, then a
+        // spike — the online verdict must agree with a full batch scan.
+        let mut online = OnlineAnomalyDetector::new(AnomalyConfig::default());
+        let mut series = Vec::new();
+        let mut online_hits = Vec::new();
+        for i in 0..500usize {
+            let x = if i == 450 { 5.0 } else { 1.0 };
+            series.push(x);
+            online_hits.extend(online.push(x, 0.5, 0.0));
+        }
+        let batch = AnomalyDetector::default().stragglers(&series);
+        assert_eq!(online_hits, batch);
+        assert_eq!(online.len(), 500);
+        // Bounded memory: far less history retained than pushed.
+        assert!(online.iter_times.len() < 200, "history must stay bounded");
+    }
+
+    #[test]
+    fn online_detector_is_deterministic() {
+        let run = || {
+            let mut d = OnlineAnomalyDetector::new(AnomalyConfig::default());
+            let mut all = Vec::new();
+            for i in 0..200usize {
+                let iter = if i % 37 == 0 { 3.0 } else { 1.0 };
+                let mfu = if (90..110).contains(&i) { 0.3 } else { 0.5 };
+                let stall = if (150..154).contains(&i) { 0.4 } else { 0.0 };
+                all.extend(d.push(iter, mfu, stall));
+            }
+            all
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -61,7 +61,7 @@ pub mod registry;
 pub mod series;
 pub mod snapshot;
 
-pub use anomaly::{Anomaly, AnomalyConfig, AnomalyDetector, AnomalyKind};
+pub use anomaly::{Anomaly, AnomalyConfig, AnomalyDetector, AnomalyKind, OnlineAnomalyDetector};
 pub use flight::{FlightDump, FlightEvent, FlightLog, FlightRecorder};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricId, Registry, Telemetry};
@@ -170,6 +170,14 @@ pub mod names {
     pub const ELASTIC_DEGRADED_SECONDS: &str = "dt_elastic_degraded_seconds";
     /// Replan search wall time (host seconds), histogram.
     pub const ELASTIC_REPLAN_SEARCH_SECONDS: &str = "dt_elastic_replan_search_seconds";
+    /// Correlated domain (rack/switch) events observed, counter.
+    pub const ELASTIC_DOMAIN_EVENTS_TOTAL: &str = "dt_elastic_domain_events_total";
+    /// Hot spares destroyed in place by a correlated domain event (they
+    /// were parked in the failing domain), counter.
+    pub const ELASTIC_SPARES_LOST_TOTAL: &str = "dt_elastic_spares_lost_total";
+    /// Healer actions taken, counter, labelled `action`
+    /// (preemptive-checkpoint / proactive-replan).
+    pub const HEALER_ACTIONS_TOTAL: &str = "dt_healer_actions_total";
 
     /// Orchestration search wall time (host seconds), histogram.
     pub const ORCHESTRATOR_SEARCH_WALL_SECONDS: &str = "dt_orchestrator_search_wall_seconds";

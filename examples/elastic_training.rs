@@ -38,6 +38,11 @@ fn main() {
         checkpoint_cost: SimDuration::from_secs_f64(1.0),
         restart_overhead: SimDuration::from_secs_f64(5.0),
         reshard_cost: SimDuration::from_secs_f64(3.0),
+        topology: None,
+        healer: None,
+        precursor_window: SimDuration::ZERO,
+        precursor_stall: SimDuration::ZERO,
+        spare_slowdown: 1.0,
     };
     let yd = young_daly_interval(elastic.checkpoint_cost, elastic.node_mtbf, nodes);
     println!(

@@ -202,4 +202,18 @@ grep -q '^dt_preprocess_batches_total ' "$VERIFY_TMP/metrics.prom" \
     || { echo "preprocess family missing from Prometheus exposition" >&2; exit 1; }
 test -s "$VERIFY_TMP/metrics.prom.json" || { echo "metrics JSON archive missing or empty" >&2; exit 1; }
 
+echo "==> repro elastic smoke (blast-radius sweep: healer acts, goodput identity exact)"
+# The sweep's correlated cells run with the healer on and off at each
+# blast radius; the healer must actually fire (a nonzero
+# dt_healer_actions_total lands in the report notes) and every cell's
+# goodput identity must hold exactly (the experiment validates it and
+# says so in the notes). The table itself re-asserts the pairing gates
+# in dt-bench's own tests; here we gate the shipped binary end to end.
+ELASTIC_LOG="$VERIFY_TMP/elastic.log"
+./target/release/repro elastic | tee "$ELASTIC_LOG"
+grep -Eq 'dt_healer_actions_total = [1-9]' "$ELASTIC_LOG" \
+    || { echo "healer never acted in the blast-radius sweep" >&2; exit 1; }
+grep -q 'goodput identity validated' "$ELASTIC_LOG" \
+    || { echo "goodput identity validation note missing from the sweep" >&2; exit 1; }
+
 echo "==> all checks passed"
